@@ -1,0 +1,148 @@
+(* The benchmark harness.
+
+   Two halves:
+   1. the paper reproduction — every table and figure of the evaluation
+      section, printed as the same rows/series the paper reports
+      (Experiments.Registry drives them; `--full` uses the larger
+      operating points, the default `quick` scale finishes in a couple
+      of minutes);
+   2. Bechamel micro-benchmarks of the core data structures (one
+      Test.make per structure), reported as ns/op. *)
+
+open Bechamel
+
+let vip = Netcore.Endpoint.v4 20 0 0 1 80
+
+let flow i =
+  Netcore.Five_tuple.make
+    ~src:(Netcore.Endpoint.v4 1 2 ((i / 60000) + 1) 4 (1 + (i mod 60000)))
+    ~dst:vip ~proto:Netcore.Protocol.Tcp
+
+module Int_cuckoo = Asic.Cuckoo.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash ~seed x = Netcore.Hashing.seeded ~seed (Int64.of_int x)
+end)
+
+let micro_tests () =
+  let tuple_hash =
+    let f = flow 1 in
+    Test.make ~name:"five_tuple.hash" (Staged.stage (fun () -> Netcore.Five_tuple.hash ~seed:1 f))
+  in
+  let tuple_digest =
+    let f = flow 2 in
+    Test.make ~name:"five_tuple.digest16"
+      (Staged.stage (fun () -> Netcore.Five_tuple.digest ~bits:16 ~seed:1 f))
+  in
+  let cuckoo_lookup =
+    let t = Int_cuckoo.create ~stages:2 ~rows_per_stage:65536 ~ways:4 () in
+    for i = 0 to 99_999 do
+      ignore (Int_cuckoo.insert t i i)
+    done;
+    let i = ref 0 in
+    Test.make ~name:"cuckoo.lookup@100k"
+      (Staged.stage (fun () ->
+           incr i;
+           Int_cuckoo.lookup t (!i mod 100_000)))
+  in
+  let cuckoo_insert_delete =
+    let t = Int_cuckoo.create ~stages:2 ~rows_per_stage:65536 ~ways:4 () in
+    for i = 0 to 99_999 do
+      ignore (Int_cuckoo.insert t i i)
+    done;
+    let i = ref 100_000 in
+    Test.make ~name:"cuckoo.insert+remove@100k"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Int_cuckoo.insert t !i !i);
+           ignore (Int_cuckoo.remove t !i)))
+  in
+  let bloom =
+    let b = Asic.Bloom_filter.create ~bits:2048 ~hashes:2 () in
+    let i = ref 0 in
+    Test.make ~name:"bloom.add+mem"
+      (Staged.stage (fun () ->
+           incr i;
+           Asic.Bloom_filter.add b (Int64.of_int !i);
+           Asic.Bloom_filter.mem b (Int64.of_int !i)))
+  in
+  let switch_process =
+    let sw = Silkroad.Switch.create Silkroad.Config.default in
+    Silkroad.Switch.add_vip sw vip
+      (Lb.Dip_pool.of_list (List.init 8 (fun i -> Netcore.Endpoint.v4 10 0 0 (i + 1) 20)));
+    (* warm the table *)
+    for i = 0 to 9_999 do
+      ignore (Silkroad.Switch.process sw ~now:(float_of_int i *. 1e-4) (Netcore.Packet.syn (flow i)))
+    done;
+    Silkroad.Switch.advance sw ~now:10.;
+    let i = ref 0 in
+    Test.make ~name:"switch.process(hit)"
+      (Staged.stage (fun () ->
+           i := (!i + 1) mod 10_000;
+           Silkroad.Switch.process sw ~now:11. (Netcore.Packet.data (flow !i))))
+  in
+  let maglev =
+    let dips = List.init 16 (fun i -> Netcore.Endpoint.v4 10 0 0 (i + 1) 20) in
+    Test.make ~name:"maglev.build@4099"
+      (Staged.stage (fun () -> Baselines.Maglev_hash.create ~table_size:4099 dips))
+  in
+  let meter =
+    let m = Asic.Meter.create ~cir:1e9 ~cbs:100000 ~eir:1e9 ~ebs:100000 in
+    let t = ref 0. in
+    Test.make ~name:"meter.mark"
+      (Staged.stage (fun () ->
+           t := !t +. 1e-6;
+           Asic.Meter.mark m ~now:!t ~bytes:1500))
+  in
+  [ tuple_hash; tuple_digest; cuckoo_lookup; cuckoo_insert_delete; bloom; switch_process;
+    maglev; meter ]
+
+let run_micro ppf =
+  Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/op) ===@.";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Format.fprintf ppf "  %-28s %10.1f ns/op@." name ns
+          | Some _ | None -> Format.fprintf ppf "  %-28s (no estimate)@." name)
+        ols)
+    (micro_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = not (List.mem "--full" args) in
+  let only =
+    let rec find = function
+      | "--only" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let skip_micro = List.mem "--no-micro" args in
+  let ppf = Format.std_formatter in
+  Format.fprintf ppf "SilkRoad paper reproduction — %s mode@."
+    (if quick then "quick" else "full");
+  (match only with
+   | Some id ->
+     (match Experiments.Registry.find id with
+      | Some e -> e.Experiments.Registry.run ~quick ppf
+      | None ->
+        Format.fprintf ppf "unknown experiment %S; available:@." id;
+        List.iter
+          (fun e -> Format.fprintf ppf "  %-16s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
+          Experiments.Registry.all)
+   | None ->
+     Experiments.Registry.run_all ~quick ppf;
+     if not skip_micro then run_micro ppf);
+  Format.pp_print_flush ppf ()

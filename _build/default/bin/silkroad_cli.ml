@@ -1,0 +1,249 @@
+(* The silkroad command-line tool.
+
+   Subcommands:
+     experiment <id> [--full]   reproduce one table/figure of the paper
+     experiments [--full]       reproduce all of them
+     list                       list experiment ids
+     demo [options]             run a configurable PCC showdown between
+                                balancers on a synthetic workload
+     memory [options]           ConnTable/DIPPoolTable sizing calculator *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_flag =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging of the control plane.")
+
+(* ---- experiment(s) ---- *)
+
+let full_flag =
+  Arg.(value & flag & info [ "full" ] ~doc:"Run at the full (slow) operating point.")
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Format.fprintf ppf "%-16s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
+      Experiments.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible tables and figures.")
+    Term.(const run $ const ())
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (see list).")
+  in
+  let run id full verbose =
+    setup_logs verbose;
+    match Experiments.Registry.find id with
+    | Some e ->
+      e.Experiments.Registry.run ~quick:(not full) ppf;
+      `Ok ()
+    | None -> `Error (false, Printf.sprintf "unknown experiment %S (try `silkroad list`)" id)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Reproduce one table or figure of the paper.")
+    Term.(ret (const run $ id $ full_flag $ verbose_flag))
+
+let experiments_cmd =
+  let run full = Experiments.Registry.run_all ~quick:(not full) ppf in
+  Cmd.v (Cmd.info "experiments" ~doc:"Reproduce every table and figure.")
+    Term.(const run $ full_flag)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let conns =
+    Arg.(value & opt float 100. & info [ "rate" ] ~docv:"CONNS" ~doc:"New connections per second.")
+  in
+  let updates =
+    Arg.(value & opt float 10. & info [ "updates" ] ~docv:"N" ~doc:"DIP pool updates per minute.")
+  in
+  let seconds =
+    Arg.(value & opt float 300. & info [ "seconds" ] ~docv:"S" ~doc:"Trace duration in seconds.")
+  in
+  let dips = Arg.(value & opt int 8 & info [ "dips" ] ~docv:"N" ~doc:"DIPs in the pool.") in
+  let run rate updates seconds dips verbose =
+    setup_logs verbose;
+    let scenario =
+      Experiments.Common.scenario ~n_vips:1 ~dips_per_vip:dips ~conns_per_sec_per_vip:rate
+        ~updates_per_min:updates ~trace_seconds:seconds ()
+    in
+    let vips = Experiments.Common.vips_of ~n_vips:1 ~dips_per_vip:dips in
+    Format.fprintf ppf "%d connections, %d updates over %.0fs:@."
+      (List.length scenario.Experiments.Common.flows)
+      (List.length scenario.Experiments.Common.updates)
+      seconds;
+    let report balancer =
+      let r = Experiments.Common.run balancer scenario in
+      Format.fprintf ppf "  %a@." Harness.Driver.pp_result r
+    in
+    report (Baselines.Ecmp_lb.create_with ~seed:1 vips);
+    let slb, _ = Baselines.Slb.create ~seed:1 ~vips () in
+    report slb;
+    let duet, _ =
+      Baselines.Duet.create ~seed:1 ~policy:(Baselines.Duet.Migrate_every 600.) ~vips ()
+    in
+    report duet;
+    let _, silkroad = Experiments.Common.silkroad ~vips () in
+    report silkroad
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run all four balancers on the same workload and compare PCC.")
+    Term.(const run $ conns $ updates $ seconds $ dips $ verbose_flag)
+
+(* ---- memory ---- *)
+
+let memory_cmd =
+  let conns =
+    Arg.(value & opt int 10_000_000 & info [ "connections" ] ~docv:"N" ~doc:"Simultaneous connections.")
+  in
+  let ipv6 = Arg.(value & flag & info [ "ipv6" ] ~doc:"IPv6 connections (37-byte keys).") in
+  let dips = Arg.(value & opt int 4187 & info [ "dips" ] ~docv:"N" ~doc:"Total DIPs.") in
+  let run connections ipv6 dips =
+    Format.fprintf ppf "ConnTable layouts for %d %s connections:@." connections
+      (if ipv6 then "IPv6" else "IPv4");
+    List.iter
+      (fun (name, layout) ->
+        let bits =
+          Silkroad.Memory_model.switch_bits ~layout ~ipv6 ~digest_bits:16 ~version_bits:6
+            ~connections ~versions:64 ~total_dips:dips
+        in
+        Format.fprintf ppf "  %-24s %8.1f MB@." name (Silkroad.Memory_model.mb bits))
+      [ ("naive (5-tuple -> DIP)", Silkroad.Memory_model.Naive);
+        ("digest -> DIP", Silkroad.Memory_model.Digest_only);
+        ("digest -> version", Silkroad.Memory_model.Digest_version) ];
+    Format.fprintf ppf "  (digest->version includes 64 versions x %d DIPs of DIPPoolTable)@." dips
+  in
+  Cmd.v (Cmd.info "memory" ~doc:"SRAM sizing calculator for the ConnTable layouts.")
+    Term.(const run $ conns $ ipv6 $ dips)
+
+(* ---- p4 ---- *)
+
+let p4_cmd =
+  let digest = Arg.(value & opt int 16 & info [ "digest-bits" ] ~doc:"ConnTable digest width.") in
+  let conns =
+    Arg.(value & opt int 1_000_000 & info [ "connections" ] ~doc:"ConnTable capacity to provision.")
+  in
+  let run digest conns =
+    let cfg = { (Silkroad.Config.sized_for ~connections:conns) with Silkroad.Config.digest_bits = digest } in
+    print_string (Silkroad.P4_sketch.emit cfg)
+  in
+  Cmd.v
+    (Cmd.info "p4" ~doc:"Emit the SilkRoad data plane as a P4_16 program sketch.")
+    Term.(const run $ digest $ conns)
+
+(* ---- trace generate / replay ---- *)
+
+let trace_generate_cmd =
+  let flows_path =
+    Arg.(value & opt string "flows.trace" & info [ "flows" ] ~docv:"FILE" ~doc:"Flow trace output file.")
+  in
+  let updates_path =
+    Arg.(value & opt string "updates.trace" & info [ "updates" ] ~docv:"FILE" ~doc:"Update trace output file.")
+  in
+  let rate = Arg.(value & opt float 100. & info [ "rate" ] ~doc:"New connections per second.") in
+  let upd = Arg.(value & opt float 10. & info [ "upd-per-min" ] ~doc:"Updates per minute.") in
+  let seconds = Arg.(value & opt float 300. & info [ "seconds" ] ~doc:"Trace length in seconds.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let run flows_path updates_path rate upd seconds seed =
+    let s =
+      Experiments.Common.scenario ~seed ~n_vips:1 ~dips_per_vip:8 ~conns_per_sec_per_vip:rate
+        ~updates_per_min:upd ~trace_seconds:seconds ()
+    in
+    Simnet.Trace_io.save_flows flows_path s.Experiments.Common.flows;
+    Simnet.Trace_io.save_updates updates_path
+      (List.map
+         (fun (t, v, u) ->
+           match u with
+           | Lb.Balancer.Dip_add d -> (t, v, `Add, d)
+           | Lb.Balancer.Dip_remove d -> (t, v, `Remove, d)
+           | Lb.Balancer.Dip_replace { new_dip; _ } -> (t, v, `Add, new_dip))
+         s.Experiments.Common.updates);
+    Format.fprintf ppf "wrote %d flows to %s and %d updates to %s@."
+      (List.length s.Experiments.Common.flows)
+      flows_path
+      (List.length s.Experiments.Common.updates)
+      updates_path
+  in
+  Cmd.v (Cmd.info "trace-generate" ~doc:"Generate a synthetic flow + update trace to files.")
+    Term.(const run $ flows_path $ updates_path $ rate $ upd $ seconds $ seed)
+
+let trace_replay_cmd =
+  let flows_path =
+    Arg.(required & opt (some string) None & info [ "flows" ] ~docv:"FILE" ~doc:"Flow trace file.")
+  in
+  let updates_path =
+    Arg.(value & opt (some string) None & info [ "updates" ] ~docv:"FILE" ~doc:"Update trace file.")
+  in
+  let run flows_path updates_path verbose =
+    setup_logs verbose;
+    match Simnet.Trace_io.load_flows flows_path with
+    | Error e -> `Error (false, flows_path ^ ": " ^ e)
+    | Ok flows ->
+      let updates =
+        match updates_path with
+        | None -> Ok []
+        | Some p ->
+          Result.map
+            (List.map (fun (t, v, k, d) ->
+                 ( t,
+                   v,
+                   match k with
+                   | `Add -> Lb.Balancer.Dip_add d
+                   | `Remove -> Lb.Balancer.Dip_remove d )))
+            (Simnet.Trace_io.load_updates p)
+      in
+      (match updates with
+       | Error e -> `Error (false, Option.value ~default:"" updates_path ^ ": " ^ e)
+       | Ok updates ->
+         (* derive VIPs and initial pools from the traces: every DIP an
+            update ever removes, or that could be selected, must start in
+            the pool — we collect VIPs from flows and DIPs from updates *)
+         let vips = Hashtbl.create 8 in
+         List.iter
+           (fun f ->
+             let v = Simnet.Flow.vip f in
+             if not (Hashtbl.mem vips v) then Hashtbl.replace vips v [])
+           flows;
+         List.iter
+           (fun (_, v, u) ->
+             let d =
+               match u with
+               | Lb.Balancer.Dip_add d | Lb.Balancer.Dip_remove d -> d
+               | Lb.Balancer.Dip_replace { old_dip; _ } -> old_dip
+             in
+             let cur = Option.value ~default:[] (Hashtbl.find_opt vips v) in
+             if not (List.exists (Netcore.Endpoint.equal d) cur) then
+               Hashtbl.replace vips v (d :: cur))
+           updates;
+         let vip_pools =
+           Hashtbl.fold
+             (fun v dips acc ->
+               let dips = if dips = [] then [ Netcore.Endpoint.v4 10 0 0 1 20 ] else dips in
+               (v, Lb.Dip_pool.of_list dips) :: acc)
+             vips []
+         in
+         let horizon =
+           List.fold_left (fun acc f -> Float.max acc (Simnet.Flow.finish f)) 0. flows +. 60.
+         in
+         let _, balancer = Experiments.Common.silkroad ~vips:vip_pools () in
+         let r = Harness.Driver.run ~balancer ~flows ~updates ~horizon () in
+         Format.fprintf ppf "%a@." Harness.Driver.pp_result r;
+         `Ok ())
+  in
+  Cmd.v (Cmd.info "trace-replay" ~doc:"Replay trace files against a SilkRoad switch.")
+    Term.(ret (const run $ flows_path $ updates_path $ verbose_flag))
+
+let () =
+  let doc = "SilkRoad: stateful L4 load balancing in a switching ASIC (SIGCOMM'17 reproduction)" in
+  let info = Cmd.info "silkroad" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; memory_cmd; p4_cmd;
+            trace_generate_cmd; trace_replay_cmd ]))

@@ -1,0 +1,1 @@
+examples/failover.ml: Array Asic Format Lb List Netcore Silkroad

@@ -1,0 +1,1 @@
+examples/network_wide.ml: Format List Netcore Silkroad Simnet

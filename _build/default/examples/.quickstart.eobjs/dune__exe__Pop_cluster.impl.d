@@ -1,0 +1,1 @@
+examples/pop_cluster.ml: Asic Format Harness Lb List Netcore Silkroad Simnet

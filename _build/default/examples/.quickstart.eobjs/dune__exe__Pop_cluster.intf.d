@@ -1,0 +1,1 @@
+examples/pop_cluster.mli:

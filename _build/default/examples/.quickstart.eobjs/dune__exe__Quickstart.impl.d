@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asic Format Lb List Netcore Option Silkroad

@@ -1,0 +1,1 @@
+examples/rolling_upgrade.ml: Baselines Format Harness Lb List Netcore Printf Silkroad Simnet

@@ -1,0 +1,77 @@
+(* DIP failure handling (§7 "Handle DIP failures"): a backend dies, the
+   health checker removes it, and a replacement is provisioned under the
+   same version-reuse machinery. We also show the §7 alternative —
+   resilient hashing — which limits stateless disruption to the failed
+   member's flows.
+
+   Run with: dune exec examples/failover.exe *)
+
+let vip = Netcore.Endpoint.v4 20 0 0 1 80
+let dips = List.init 8 (fun i -> Netcore.Endpoint.v4 10 0 0 (i + 1) 8080)
+let failed = List.nth dips 2
+let replacement = Netcore.Endpoint.v4 10 0 0 99 8080
+
+let () =
+  (* --- SilkRoad path: stateful, zero live-connection disruption --- *)
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip (Lb.Dip_pool.of_list dips);
+  (* 500 established connections *)
+  let flows =
+    List.init 500 (fun i ->
+        Netcore.Five_tuple.make
+          ~src:(Netcore.Endpoint.v4 198 51 (i / 250) (1 + (i mod 250)) (10000 + i))
+          ~dst:vip ~proto:Netcore.Protocol.Tcp)
+  in
+  let before =
+    List.map
+      (fun f -> (f, (Silkroad.Switch.process sw ~now:0. (Netcore.Packet.syn f)).Lb.Balancer.dip))
+      flows
+  in
+  Silkroad.Switch.advance sw ~now:0.5;
+  (* health check fires: remove the dead DIP, provision a replacement *)
+  Silkroad.Switch.request_update sw ~now:1.0 ~vip (Lb.Balancer.Dip_remove failed);
+  Silkroad.Switch.request_update sw ~now:1.1 ~vip (Lb.Balancer.Dip_add replacement);
+  Silkroad.Switch.advance sw ~now:2.0;
+  let moved, orphans =
+    List.fold_left
+      (fun (moved, orphans) (f, d0) ->
+        let d1 = (Silkroad.Switch.process sw ~now:2. (Netcore.Packet.data f)).Lb.Balancer.dip in
+        if d0 = Some failed then (moved, orphans + 1)
+        else if d1 <> d0 then (moved + 1, orphans)
+        else (moved, orphans))
+      (0, 0) before
+  in
+  Format.printf "SilkRoad: %d connections were on the failed DIP (dead either way);@." orphans;
+  Format.printf "          %d of the surviving %d connections were remapped (want 0)@." moved
+    (List.length before - orphans);
+  Format.printf "          version reuse events: %d@."
+    (Silkroad.Dip_pool_table.reuses (Silkroad.Switch.pools sw));
+
+  (* --- stateless alternatives for comparison --- *)
+  let hashes =
+    List.map (fun f -> Netcore.Five_tuple.hash ~seed:77 f) flows
+  in
+  let arr = Array.of_list dips in
+  let arr' = Array.of_list (List.filter (fun d -> not (Netcore.Endpoint.equal d failed)) dips) in
+  let plain_moved =
+    List.length
+      (List.filter
+         (fun h ->
+           let b = Asic.Ecmp.select arr h and a = Asic.Ecmp.select arr' h in
+           (not (Netcore.Endpoint.equal b failed)) && not (Netcore.Endpoint.equal a b))
+         hashes)
+  in
+  let r = Asic.Ecmp.resilient ~slots_per_member:64 arr in
+  let r' = Asic.Ecmp.resilient_remove ~equal:Netcore.Endpoint.equal r failed in
+  let resilient_moved =
+    List.length
+      (List.filter
+         (fun h ->
+           let b = Asic.Ecmp.resilient_select r h and a = Asic.Ecmp.resilient_select r' h in
+           (not (Netcore.Endpoint.equal b failed)) && not (Netcore.Endpoint.equal a b))
+         hashes)
+  in
+  Format.printf "ECMP (mod n): %d surviving connections remapped by the same failure@."
+    plain_moved;
+  Format.printf "resilient hashing: %d remapped (only the failed DIP's flows move)@."
+    resilient_moved

@@ -1,0 +1,51 @@
+(* Network-wide deployment (§5.3, Figure 11): assign VIPs to switch
+   layers so no switch's SRAM overflows, then simulate a layer budget
+   squeeze and watch the bin-packing shift VIPs between layers.
+
+   Run with: dune exec examples/network_wide.exe *)
+
+let mb_bits m = int_of_float (m *. 8. *. 1024. *. 1024.)
+
+let layers ~tor_budget_mb =
+  [ { Silkroad.Assignment.layer_name = "ToR"; switches = 32;
+      sram_budget_bits = mb_bits tor_budget_mb; capacity_gbps = 1600. };
+    { Silkroad.Assignment.layer_name = "Agg"; switches = 8;
+      sram_budget_bits = mb_bits 40.; capacity_gbps = 4800. };
+    { Silkroad.Assignment.layer_name = "Core"; switches = 4;
+      sram_budget_bits = mb_bits 60.; capacity_gbps = 6400. } ]
+
+let vips () =
+  let rng = Simnet.Prng.create ~seed:42 in
+  List.init 150 (fun i ->
+      let conns =
+        Simnet.Dist.sample (Simnet.Dist.lognormal_of_quantiles ~median:2e5 ~p99:8e6) rng
+      in
+      let gbps = Simnet.Dist.sample (Simnet.Dist.lognormal_of_quantiles ~median:3. ~p99:300.) rng in
+      { Silkroad.Assignment.vip = Netcore.Endpoint.v4 20 0 2 (1 + (i mod 250)) 80;
+        conn_bits =
+          Silkroad.Memory_model.conn_table_bits ~layout:Silkroad.Memory_model.Digest_version
+            ~ipv6:false ~digest_bits:16 ~version_bits:6 ~connections:(int_of_float conns);
+        traffic_gbps = gbps })
+
+let report name p =
+  Format.printf "%s:@." name;
+  List.iter
+    (fun (layer, util) ->
+      let traffic = List.assoc layer p.Silkroad.Assignment.traffic_utilization in
+      let count =
+        List.length (List.filter (fun (_, l) -> l = layer) p.Silkroad.Assignment.assignment)
+      in
+      Format.printf "  %-5s %3d VIPs   sram %5.1f%%   traffic %5.1f%%@." layer count
+        (100. *. util) (100. *. traffic))
+    p.Silkroad.Assignment.sram_utilization;
+  Format.printf "  max SRAM utilization %.1f%%, unplaced %d@."
+    (100. *. p.Silkroad.Assignment.max_sram_utilization)
+    (List.length p.Silkroad.Assignment.unplaced)
+
+let () =
+  let vips = vips () in
+  report "comfortable ToR budget (25 MB/switch)"
+    (Silkroad.Assignment.assign ~layers:(layers ~tor_budget_mb:25.) ~vips);
+  (* the operator reserves ToR SRAM for other functions: VIPs shift up *)
+  report "squeezed ToR budget (8 MB/switch)"
+    (Silkroad.Assignment.assign ~layers:(layers ~tor_budget_mb:8.) ~vips)

@@ -1,0 +1,1 @@
+lib/asic/bloom_filter.ml: Netcore Register_array Resources

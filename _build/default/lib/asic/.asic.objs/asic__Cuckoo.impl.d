@@ -1,0 +1,1 @@
+lib/asic/cuckoo.ml: Array Hashtbl List Netcore Queue

@@ -1,0 +1,1 @@
+lib/asic/ecmp.ml: Array List Netcore

@@ -1,0 +1,1 @@
+lib/asic/learning_filter.ml: Hashtbl List Queue

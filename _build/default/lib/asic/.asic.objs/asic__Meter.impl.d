@@ -1,0 +1,1 @@
+lib/asic/meter.ml: Float Format

@@ -1,0 +1,1 @@
+lib/asic/register_array.mli: Resources

@@ -1,0 +1,1 @@
+lib/asic/resources.mli: Format

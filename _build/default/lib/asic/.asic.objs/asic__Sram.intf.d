@@ -1,0 +1,1 @@
+lib/asic/sram.mli:

@@ -1,0 +1,1 @@
+lib/asic/switch_cpu.ml: Float

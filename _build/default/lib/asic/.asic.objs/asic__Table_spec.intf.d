@@ -1,0 +1,1 @@
+lib/asic/table_spec.mli: Resources

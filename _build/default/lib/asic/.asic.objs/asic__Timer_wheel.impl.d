@@ -1,0 +1,1 @@
+lib/asic/timer_wheel.ml: Array Float Hashtbl Int List

@@ -1,0 +1,58 @@
+type t = {
+  regs : Register_array.t;
+  nbits : int;
+  hashes : int;
+  family : Netcore.Hashing.family;
+  mutable population : int;
+}
+
+let create ?(seed = 0x710f) ~bits ~hashes () =
+  assert (bits > 0);
+  assert (hashes >= 1 && hashes <= 16);
+  {
+    regs = Register_array.create ~name:"bloom" ~width_bits:1 ~size:bits ();
+    nbits = bits;
+    hashes;
+    family = Netcore.Hashing.family ~seed;
+    population = 0;
+  }
+
+let bits t = t.nbits
+let hashes t = t.hashes
+
+let index t i key = Netcore.Hashing.to_range (Netcore.Hashing.apply t.family i key) t.nbits
+
+let add t key =
+  for i = 0 to t.hashes - 1 do
+    let idx = index t i key in
+    if Register_array.read t.regs idx = 0 then begin
+      Register_array.write t.regs idx 1;
+      t.population <- t.population + 1
+    end
+  done
+
+let mem t key =
+  let rec probe i =
+    i >= t.hashes || (Register_array.read t.regs (index t i key) = 1 && probe (i + 1))
+  in
+  probe 0
+
+let clear t =
+  Register_array.clear t.regs;
+  t.population <- 0
+
+let population t = t.population
+
+let fill_ratio t = float_of_int t.population /. float_of_int t.nbits
+
+let false_positive_probability t = fill_ratio t ** float_of_int t.hashes
+
+let index_bits t =
+  (* bits needed to address nbits cells *)
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) ((n + 1) / 2) in
+  go 0 t.nbits
+
+let resources t =
+  Resources.add
+    (Register_array.resources t.regs)
+    (Resources.make ~hash_bits:(t.hashes * index_bits t) ())

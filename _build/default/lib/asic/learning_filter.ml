@@ -1,0 +1,53 @@
+type ('k, 'm) t = {
+  capacity : int;
+  timeout : float;
+  keys : ('k, unit) Hashtbl.t;
+  queue : ('k * 'm * float) Queue.t;
+  mutable dropped : int;
+}
+
+let create ~capacity ~timeout () =
+  assert (capacity > 0);
+  assert (timeout >= 0.);
+  { capacity; timeout; keys = Hashtbl.create 256; queue = Queue.create (); dropped = 0 }
+
+let capacity t = t.capacity
+let timeout t = t.timeout
+
+let pending t = Queue.length t.queue
+let dropped t = t.dropped
+
+let offer t ~now k m =
+  if Hashtbl.mem t.keys k then `Duplicate
+  else if Queue.length t.queue >= t.capacity then begin
+    t.dropped <- t.dropped + 1;
+    `Dropped
+  end
+  else begin
+    Hashtbl.replace t.keys k ();
+    Queue.add (k, m, now) t.queue;
+    `Accepted
+  end
+
+let oldest_time t =
+  match Queue.peek_opt t.queue with
+  | Some (_, _, at) -> Some at
+  | None -> None
+
+let ready t ~now =
+  Queue.length t.queue >= t.capacity
+  ||
+  match oldest_time t with
+  | Some at -> now -. at >= t.timeout
+  | None -> false
+
+let next_deadline t =
+  match oldest_time t with
+  | Some at -> Some (at +. t.timeout)
+  | None -> None
+
+let drain t =
+  let events = Queue.fold (fun acc (k, m, _) -> (k, m) :: acc) [] t.queue in
+  Queue.clear t.queue;
+  Hashtbl.reset t.keys;
+  List.rev events

@@ -1,0 +1,26 @@
+(** Two-rate three-color marker (RFC 4115), the ASIC's rate limiter.
+
+    SilkRoad attaches a meter to each VIP for performance isolation:
+    packets are marked Green (within committed rate), Yellow (within
+    excess rate) or Red (dropped) by two token buckets refilled at the
+    committed and excess information rates (§5.2). *)
+
+type color =
+  | Green
+  | Yellow
+  | Red
+
+type t
+
+val create : cir:float -> cbs:int -> eir:float -> ebs:int -> t
+(** [cir]/[eir] in bytes per second; [cbs]/[ebs] burst sizes in bytes.
+    Buckets start full. *)
+
+val mark : t -> now:float -> bytes:int -> color
+(** Mark (and account) a packet of [bytes] arriving at [now]. Seconds
+    may not go backwards between calls. *)
+
+val marked : t -> color -> int
+(** Total bytes marked with the given color so far. *)
+
+val pp_color : Format.formatter -> color -> unit

@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  width_bits : int;
+  mask : int;
+  cells : int array;
+  mutable ops : int;
+}
+
+let create ?(name = "registers") ~width_bits ~size () =
+  assert (width_bits >= 1 && width_bits <= 62);
+  assert (size > 0);
+  { name; width_bits; mask = (1 lsl width_bits) - 1; cells = Array.make size 0; ops = 0 }
+
+let name t = t.name
+let size t = Array.length t.cells
+let width_bits t = t.width_bits
+
+let read t i =
+  t.ops <- t.ops + 1;
+  t.cells.(i)
+
+let write t i v =
+  t.ops <- t.ops + 1;
+  t.cells.(i) <- v land t.mask
+
+let read_modify_write t i f =
+  t.ops <- t.ops + 1;
+  let v = f t.cells.(i) land t.mask in
+  t.cells.(i) <- v;
+  v
+
+let clear t = Array.fill t.cells 0 (Array.length t.cells) 0
+
+let ops t = t.ops
+
+let sram_bits t = size t * t.width_bits
+
+let resources t = Resources.make ~sram_bits:(sram_bits t) ~stateful_alus:1 ()

@@ -1,0 +1,22 @@
+type t = {
+  rate : float;
+  mutable busy_until : float;
+  mutable total_items : int;
+}
+
+let create ~insertions_per_sec =
+  assert (insertions_per_sec > 0.);
+  { rate = insertions_per_sec; busy_until = 0.; total_items = 0 }
+
+let insertions_per_sec t = t.rate
+
+let submit t ~now ~work_items =
+  assert (work_items >= 0);
+  let start = Float.max now t.busy_until in
+  let finish = start +. (float_of_int work_items /. t.rate) in
+  t.busy_until <- finish;
+  t.total_items <- t.total_items + work_items;
+  finish
+
+let busy_until t = t.busy_until
+let total_items t = t.total_items

@@ -1,0 +1,64 @@
+type 'k t = {
+  granularity : float;
+  slots : ('k, float) Hashtbl.t array;
+  index : ('k, int) Hashtbl.t;  (** key -> slot currently holding it *)
+  mutable cursor : int;  (** next slot to sweep *)
+  mutable cursor_time : float;  (** time up to which slots were swept *)
+}
+
+let create ~granularity ~slots () =
+  assert (granularity > 0.);
+  assert (slots >= 2);
+  {
+    granularity;
+    slots = Array.init slots (fun _ -> Hashtbl.create 16);
+    index = Hashtbl.create 64;
+    cursor = 0;
+    cursor_time = 0.;
+  }
+
+let slot_of t at = int_of_float (at /. t.granularity) mod Array.length t.slots
+
+let cancel t ~key =
+  match Hashtbl.find_opt t.index key with
+  | Some slot ->
+    Hashtbl.remove t.slots.(slot) key;
+    Hashtbl.remove t.index key
+  | None -> ()
+
+let schedule t ~key ~at =
+  cancel t ~key;
+  let slot = slot_of t (Float.max at t.cursor_time) in
+  Hashtbl.replace t.slots.(slot) key at;
+  Hashtbl.replace t.index key slot
+
+let mem t ~key = Hashtbl.mem t.index key
+
+let scheduled t = Hashtbl.length t.index
+
+let advance t ~now =
+  if now <= t.cursor_time then []
+  else begin
+    let expired = ref [] in
+    let n = Array.length t.slots in
+    let target_tick = int_of_float (now /. t.granularity) in
+    let start_tick = int_of_float (t.cursor_time /. t.granularity) in
+    (* sweep at most one full revolution: later slots repeat *)
+    let ticks = Int.min (target_tick - start_tick) (n - 1) in
+    for tick = start_tick to start_tick + ticks do
+      let slot = tick mod n in
+      let due =
+        Hashtbl.fold (fun key at acc -> if at <= now then (key, at) :: acc else acc)
+          t.slots.(slot) []
+      in
+      List.iter
+        (fun (key, _) ->
+          Hashtbl.remove t.slots.(slot) key;
+          Hashtbl.remove t.index key)
+        due;
+      expired := due @ !expired
+    done;
+    t.cursor_time <- now;
+    t.cursor <- target_tick mod n;
+    List.sort (fun (_, a) (_, b) -> Float.compare a b) !expired |> List.map fst
+  end

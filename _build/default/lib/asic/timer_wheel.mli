@@ -1,0 +1,28 @@
+(** A hashed timing wheel for entry aging.
+
+    Hardware tables age entries with coarse-grained timers rather than
+    per-entry scans; this wheel gives the control plane the same O(1)
+    schedule/advance behaviour. Keys are scheduled at absolute deadlines
+    and delivered (at wheel granularity) by {!advance}; re-scheduling a
+    key replaces its previous deadline, so the lazy-refresh idiom —
+    schedule once, verify staleness on expiry, reschedule if the entry
+    saw traffic — costs one wheel operation per timeout rather than one
+    per packet. *)
+
+type 'k t
+
+val create : granularity:float -> slots:int -> unit -> 'k t
+(** A wheel spanning [granularity *. slots] seconds; deadlines further
+    out than one revolution are handled correctly (they survive
+    intermediate passes). [granularity > 0], [slots >= 2]. *)
+
+val schedule : 'k t -> key:'k -> at:float -> unit
+(** (Re)schedule [key] to fire at absolute time [at]. *)
+
+val cancel : 'k t -> key:'k -> unit
+val mem : 'k t -> key:'k -> bool
+val scheduled : 'k t -> int
+
+val advance : 'k t -> now:float -> 'k list
+(** All keys whose deadline is <= [now], in deadline order; they are
+    removed from the wheel. *)

@@ -1,0 +1,1 @@
+lib/baselines/duet.ml: Float Hashtbl Lb List Netcore Printf

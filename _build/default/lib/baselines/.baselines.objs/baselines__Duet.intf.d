@@ -1,0 +1,1 @@
+lib/baselines/duet.mli: Lb Netcore

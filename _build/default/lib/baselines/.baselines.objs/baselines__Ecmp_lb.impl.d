@@ -1,0 +1,1 @@
+lib/baselines/ecmp_lb.ml: Hashtbl Lb List Netcore

@@ -1,0 +1,1 @@
+lib/baselines/ecmp_lb.mli: Lb Netcore

@@ -1,0 +1,1 @@
+lib/baselines/maglev_hash.mli: Netcore

@@ -1,0 +1,1 @@
+lib/baselines/slb.ml: Float Hashtbl Lb List Netcore

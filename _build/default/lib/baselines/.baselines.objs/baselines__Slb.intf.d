@@ -1,0 +1,1 @@
+lib/baselines/slb.mli: Lb Netcore

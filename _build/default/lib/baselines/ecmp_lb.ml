@@ -1,0 +1,35 @@
+type state = {
+  seed : int;
+  vips : (Netcore.Endpoint.t, Lb.Dip_pool.t) Hashtbl.t;
+}
+
+let process state ~now:_ (pkt : Netcore.Packet.t) =
+  let vip = pkt.Netcore.Packet.flow.Netcore.Five_tuple.dst in
+  match Hashtbl.find_opt state.vips vip with
+  | None -> { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+  | Some pool ->
+    if Lb.Dip_pool.is_empty pool then { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+    else
+      let dip = Lb.Dip_pool.select_flow ~seed:state.seed pool pkt.Netcore.Packet.flow in
+      { Lb.Balancer.dip = Some dip; location = Lb.Balancer.Asic }
+
+let update state ~now:_ ~vip u =
+  let pool =
+    match Hashtbl.find_opt state.vips vip with
+    | Some pool -> pool
+    | None -> Lb.Dip_pool.of_list []
+  in
+  Hashtbl.replace state.vips vip (Lb.Balancer.apply_update pool u)
+
+let create_with ~seed vips =
+  let state = { seed; vips = Hashtbl.create 16 } in
+  List.iter (fun (vip, pool) -> Hashtbl.replace state.vips vip pool) vips;
+  {
+    Lb.Balancer.name = "ecmp";
+    advance = (fun ~now:_ -> ());
+    process = process state;
+    update = update state;
+    connections = (fun () -> 0);
+  }
+
+let create ~seed = create_with ~seed []

@@ -1,0 +1,29 @@
+(** Maglev consistent hashing (Eisenbud et al., NSDI'16 — reference [20]
+    of the paper).
+
+    Builds a fixed-size lookup table from per-backend permutations so
+    that (a) load spreads near-uniformly and (b) a membership change
+    remaps only a small fraction of the table. Provided as an ablation
+    alternative to plain ECMP selection for VIPTable: with consistent
+    hashing, a DIP change breaks far fewer connections even without any
+    connection state. *)
+
+type t
+
+val create : ?table_size:int -> Netcore.Endpoint.t list -> t
+(** [table_size] must be a prime larger than the number of backends
+    (default 65537). Raises [Invalid_argument] on an empty backend list
+    or a non-prime size. *)
+
+val lookup : t -> int64 -> Netcore.Endpoint.t
+(** Select a backend from a packet hash. *)
+
+val table_size : t -> int
+val backends : t -> Netcore.Endpoint.t list
+
+val entries_of : t -> Netcore.Endpoint.t -> int
+(** Number of table slots owned by the backend (for load-spread tests). *)
+
+val disruption : t -> t -> float
+(** Fraction of table slots whose owner differs between two tables —
+    the fraction of stateless flows a membership change would remap. *)

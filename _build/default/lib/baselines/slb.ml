@@ -1,0 +1,112 @@
+type stats = {
+  packets : int;
+  bytes : int;
+  connections_created : int;
+  overload_drops : int;
+}
+
+type state = {
+  seed : int;
+  capacity_pps : float;
+  vips : (Netcore.Endpoint.t, Lb.Dip_pool.t) Hashtbl.t;
+  conns : (Netcore.Five_tuple.t, Netcore.Endpoint.t) Hashtbl.t;
+  mutable packets : int;
+  mutable bytes : int;
+  mutable connections_created : int;
+  mutable overload_drops : int;
+  (* token bucket over processing capacity: one token per packet *)
+  mutable tokens : float;
+  mutable last_refill : float;
+}
+
+let added_latency = 50e-6
+
+let over_capacity state ~now =
+  if state.capacity_pps = infinity then false
+  else begin
+    let dt = Float.max 0. (now -. state.last_refill) in
+    state.last_refill <- now;
+    (* allow up to 10 ms of burst *)
+    state.tokens <-
+      Float.min (state.capacity_pps /. 100.) (state.tokens +. (dt *. state.capacity_pps));
+    if state.tokens >= 1. then begin
+      state.tokens <- state.tokens -. 1.;
+      false
+    end
+    else true
+  end
+
+let process state ~now (pkt : Netcore.Packet.t) =
+  if over_capacity state ~now then begin
+    state.overload_drops <- state.overload_drops + 1;
+    { Lb.Balancer.dip = None; location = Lb.Balancer.Slb }
+  end
+  else begin
+  state.packets <- state.packets + 1;
+  state.bytes <- state.bytes + Netcore.Packet.wire_size pkt;
+  let flow = pkt.Netcore.Packet.flow in
+  let finish dip = { Lb.Balancer.dip; location = Lb.Balancer.Slb } in
+  match Hashtbl.find_opt state.conns flow with
+  | Some dip ->
+    if Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags then
+      Hashtbl.remove state.conns flow;
+    finish (Some dip)
+  | None ->
+    (match Hashtbl.find_opt state.vips flow.Netcore.Five_tuple.dst with
+     | None -> finish None
+     | Some pool ->
+       if Lb.Dip_pool.is_empty pool then finish None
+       else begin
+         let dip = Lb.Dip_pool.select_flow ~seed:state.seed pool flow in
+         (* Software insertion is atomic with VIPTable updates, so the
+            entry is visible to the very next packet. *)
+         if not (Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags) then begin
+           Hashtbl.replace state.conns flow dip;
+           state.connections_created <- state.connections_created + 1
+         end;
+         finish (Some dip)
+       end)
+  end
+
+let update state ~now:_ ~vip u =
+  let pool =
+    match Hashtbl.find_opt state.vips vip with
+    | Some pool -> pool
+    | None -> Lb.Dip_pool.of_list []
+  in
+  Hashtbl.replace state.vips vip (Lb.Balancer.apply_update pool u)
+
+let create ~seed ?(capacity_pps = infinity) ?(vips = []) () =
+  let state =
+    {
+      seed;
+      capacity_pps;
+      vips = Hashtbl.create 16;
+      conns = Hashtbl.create 4096;
+      packets = 0;
+      bytes = 0;
+      connections_created = 0;
+      overload_drops = 0;
+      tokens = (if capacity_pps = infinity then 0. else capacity_pps /. 100.);
+      last_refill = 0.;
+    }
+  in
+  List.iter (fun (vip, pool) -> Hashtbl.replace state.vips vip pool) vips;
+  let balancer =
+    {
+      Lb.Balancer.name = "slb";
+      advance = (fun ~now:_ -> ());
+      process = process state;
+      update = update state;
+      connections = (fun () -> Hashtbl.length state.conns);
+    }
+  in
+  let stats () =
+    {
+      packets = state.packets;
+      bytes = state.bytes;
+      connections_created = state.connections_created;
+      overload_drops = state.overload_drops;
+    }
+  in
+  (balancer, stats)

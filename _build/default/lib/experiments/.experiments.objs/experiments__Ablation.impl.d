@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Asic Baselines Common Format Int Int64 Lb List Netcore Result Silkroad Simnet

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Format Harness Lb List Netcore Printf Silkroad Simnet String

@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Baselines Common Format Harness Int64 Lb List Netcore Printf Silkroad Simnet Sys

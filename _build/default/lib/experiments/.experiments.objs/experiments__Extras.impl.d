@@ -1,0 +1,1 @@
+lib/experiments/extras.ml: Asic Common Float Format List Netcore Printf Silkroad

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Common Float Format List Silkroad Simnet

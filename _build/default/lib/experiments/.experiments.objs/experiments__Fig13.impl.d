@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Common Float Format List Silkroad Simnet

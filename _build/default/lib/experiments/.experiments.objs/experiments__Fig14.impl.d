@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Common Float Format Int List Printf Silkroad Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig15.ml: Common Float Format Int Lb List Silkroad Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig16.ml: Baselines Common Format Harness List Printf Silkroad Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig17.ml: Common Fig16 Format Harness List Printf Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig18.ml: Common Format Harness List Printf Silkroad Simnet

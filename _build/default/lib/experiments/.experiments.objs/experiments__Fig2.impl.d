@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Common Float Format Int List Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Common Format List Printf Simnet

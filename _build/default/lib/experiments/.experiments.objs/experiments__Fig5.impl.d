@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Baselines Common Format Harness List Simnet

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common Float Format List Simnet

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Extensions Extras Fig12 Fig13 Fig14 Fig15 Fig16 Fig17 Fig18 Fig2 Fig3 Fig4 Fig5 Fig6 Fig8 Format List Table1 Table2

@@ -1,0 +1,102 @@
+(* Text-of-paper experiments that are not numbered figures:
+   - digest size vs false positives (§6.1),
+   - power / capital cost comparison (§6.1),
+   - meter (trTCM) marking accuracy (§5.2). *)
+
+let digest_fp ~quick ppf =
+  let n = if quick then 100_000 else 400_000 in
+  Common.header ppf "Digest size vs false positives (§6.1)";
+  Common.row ppf [ "digest bits"; "SRAM MB @10M"; "false hits"; "rate" ];
+  Common.rule ppf;
+  List.iter
+    (fun bits ->
+      (* install n connections, then probe n fresh flows (one packet
+         each) and count hardware false hits *)
+      let cfg =
+        { (Silkroad.Config.sized_for ~connections:n) with Silkroad.Config.digest_bits = bits }
+      in
+      let table = Silkroad.Conn_table.create cfg in
+      let v = Common.vip 0 in
+      let flow i =
+        Netcore.Five_tuple.make
+          ~src:(Netcore.Endpoint.v4 1 ((i / 4_000_000) + 1) ((i / 16_000) mod 250) 4
+                  (1 + (i mod 16_000)))
+          ~dst:v ~proto:Netcore.Protocol.Tcp
+      in
+      for i = 0 to n - 1 do
+        ignore (Silkroad.Conn_table.insert table (flow i) ~version:1)
+      done;
+      for i = n to (2 * n) - 1 do
+        ignore (Silkroad.Conn_table.lookup table (flow i))
+      done;
+      let fh = Silkroad.Conn_table.false_hits table in
+      let mb =
+        Silkroad.Memory_model.mb
+          (Silkroad.Memory_model.conn_table_bits ~layout:Silkroad.Memory_model.Digest_version
+             ~ipv6:true ~digest_bits:bits ~version_bits:6 ~connections:10_000_000)
+      in
+      Common.row ppf
+        [ string_of_int bits; Common.float1 mb; string_of_int fh;
+          Common.pct (float_of_int fh /. float_of_int n) ])
+    [ 8; 12; 16; 24 ];
+  Format.fprintf ppf
+    "  paper anchors: 16-bit digest -> 0.01%% of connections falsely hit@.";
+  Format.fprintf ppf
+    "  (270/min on a 2.77M conns/min trace, 32MB); 24-bit -> 0.00004%% (42.8MB).@."
+
+let cost ~quick:_ ppf =
+  let c = Silkroad.Cost_model.power_and_cost () in
+  Common.header ppf "Power & capital cost: SLB vs SilkRoad (§6.1)";
+  Common.row ppf [ ""; "SLB"; "SilkRoad"; "ratio" ];
+  Common.rule ppf;
+  Common.row ppf
+    [ "throughput"; Printf.sprintf "%.0f Mpps" Silkroad.Cost_model.slb_mpps;
+      Printf.sprintf "%.0f Gpps" Silkroad.Cost_model.silkroad_gpps; "~833x" ];
+  Common.row ppf
+    [ "watts/Gpps"; Printf.sprintf "%.0f" c.Silkroad.Cost_model.slb_watts_per_gpps;
+      Printf.sprintf "%.0f" c.Silkroad.Cost_model.silkroad_watts_per_gpps;
+      Printf.sprintf "%.0fx" c.Silkroad.Cost_model.power_ratio ];
+  Common.row ppf
+    [ "USD/Gpps"; Printf.sprintf "%.0f" c.Silkroad.Cost_model.slb_usd_per_gpps;
+      Printf.sprintf "%.0f" c.Silkroad.Cost_model.silkroad_usd_per_gpps;
+      Printf.sprintf "%.0fx" c.Silkroad.Cost_model.cost_ratio ];
+  Format.fprintf ppf
+    "  paper anchors: ~1/500 of the power and ~1/250 of the capital cost.@.";
+  (* the 15 Tbps datacenter sizing example *)
+  let d =
+    Silkroad.Cost_model.demand_of_traffic ~gbps:15_000. ~avg_packet_bytes:800
+      ~connections:30_000_000
+  in
+  Format.fprintf ppf "  40K-server DC (15 Tbps): %d SLBs vs %d SilkRoads@."
+    (Silkroad.Cost_model.slb_count d) (Silkroad.Cost_model.silkroad_count d)
+
+let meter ~quick ppf =
+  Common.header ppf "Meter (trTCM) marking accuracy (§5.2)";
+  Common.row ppf [ "offered/CIR"; "expected green"; "measured green"; "error" ];
+  Common.rule ppf;
+  let n = if quick then 400_000 else 2_000_000 in
+  List.iter
+    (fun mult ->
+      let cir = 1.25e9 in
+      (* 10 Gbps committed *)
+      (* burst sizes of ~1 ms at CIR so the initial token burst does not
+         bias the measured shares *)
+      let m =
+        Asic.Meter.create ~cir ~cbs:(int_of_float (cir /. 1000.)) ~eir:cir
+          ~ebs:(int_of_float (cir /. 1000.))
+      in
+      let offered = cir *. mult in
+      let pkt = 1250 in
+      let dt = float_of_int pkt /. offered in
+      let green = ref 0 in
+      for i = 0 to n - 1 do
+        if Asic.Meter.mark m ~now:(float_of_int i *. dt) ~bytes:pkt = Asic.Meter.Green then
+          green := !green + pkt
+      done;
+      let measured = float_of_int !green /. float_of_int (n * pkt) in
+      let expected = Float.min 1. (1. /. mult) in
+      Common.row ppf
+        [ Printf.sprintf "%.2f" mult; Common.pct expected; Common.pct measured;
+          Common.pct (abs_float (measured -. expected)) ])
+    [ 0.5; 1.0; 1.5; 2.0; 4.0 ];
+  Format.fprintf ppf "  paper anchor: <1%% average marking error at 10 Gbps offered load.@."

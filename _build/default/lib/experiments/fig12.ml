@@ -1,0 +1,54 @@
+(* Figure 12: SRAM usage of SilkRoad deployed on ToR switches, CDF
+   across clusters. Memory = word-packed ConnTable (digest+version) at
+   the cluster's p99 connections per ToR + DIPPoolTable (64 versions of
+   the cluster's DIP population). *)
+
+let cluster_bits (c : Simnet.Cluster.t) =
+  Silkroad.Memory_model.switch_bits ~layout:Silkroad.Memory_model.Digest_version
+    ~ipv6:c.Simnet.Cluster.ipv6 ~digest_bits:16 ~version_bits:6
+    ~connections:(int_of_float c.Simnet.Cluster.conns_per_tor_p99)
+    ~versions:64 ~total_dips:c.Simnet.Cluster.total_dips
+
+let run ~quick:_ ppf =
+  let pop = Common.study_population () in
+  Common.header ppf "Figure 12: SilkRoad SRAM usage per ToR (CDF across clusters)";
+  Common.row ppf [ "class"; "median MB"; "p90 MB"; "peak MB"; "fits 100MB?" ];
+  Common.rule ppf;
+  List.iter
+    (fun cls ->
+      let sel = List.filter (fun c -> c.Simnet.Cluster.cls = cls) pop in
+      let mbs = List.map (fun c -> Silkroad.Memory_model.mb (cluster_bits c)) sel in
+      let peak = List.fold_left Float.max 0. mbs in
+      Common.row ppf
+        [ Simnet.Cluster.class_name cls;
+          Common.float1 (Simnet.Stats.median mbs);
+          Common.float1 (Simnet.Stats.percentile mbs 90.);
+          Common.float1 peak;
+          (if peak <= 100. then "yes" else "NO") ])
+    [ Simnet.Cluster.Pop; Simnet.Cluster.Frontend; Simnet.Cluster.Backend ];
+  (* breakdown of the peak Backend, as in the paper's prose *)
+  let backends = List.filter (fun c -> c.Simnet.Cluster.cls = Simnet.Cluster.Backend) pop in
+  let peak =
+    List.fold_left
+      (fun acc c -> match acc with
+        | None -> Some c
+        | Some b -> if cluster_bits c > cluster_bits b then Some c else acc)
+      None backends
+  in
+  (match peak with
+   | Some c ->
+     let conn =
+       Silkroad.Memory_model.conn_table_bits ~layout:Silkroad.Memory_model.Digest_version
+         ~ipv6:c.Simnet.Cluster.ipv6 ~digest_bits:16 ~version_bits:6
+         ~connections:(int_of_float c.Simnet.Cluster.conns_per_tor_p99)
+     in
+     let total = cluster_bits c in
+     Format.fprintf ppf
+       "  peak Backend: %.1f MB total, ConnTable %.1f%% (%.2g conns), DIPPool %d dips@."
+       (Silkroad.Memory_model.mb total)
+       (100. *. float_of_int conn /. float_of_int total)
+       c.Simnet.Cluster.conns_per_tor_p99 c.Simnet.Cluster.total_dips
+   | None -> ());
+  Format.fprintf ppf
+    "  paper anchors: PoPs median 14MB / peak 32MB; Backends median 15MB / peak 58MB@.";
+  Format.fprintf ppf "                 (ConnTable 91.7%% of the peak); Frontends < 2MB.@."

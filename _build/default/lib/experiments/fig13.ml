@@ -1,0 +1,35 @@
+(* Figure 13: how many SLBs one SilkRoad replaces, per cluster. Demand
+   comes from each cluster's peak traffic and peak connection count. *)
+
+let ratio (c : Simnet.Cluster.t) =
+  (* volume-weighted average packet size: user-facing PoP traffic is
+     small-packet; backend volume traffic larger *)
+  let avg_pkt = match c.Simnet.Cluster.cls with
+    | Simnet.Cluster.Pop -> 600
+    | Simnet.Cluster.Frontend -> 1000
+    | Simnet.Cluster.Backend -> 1000
+  in
+  let d =
+    Silkroad.Cost_model.demand_of_traffic
+      ~gbps:(c.Simnet.Cluster.gbps_per_tor *. float_of_int c.Simnet.Cluster.n_tors)
+      ~avg_packet_bytes:avg_pkt
+      ~connections:(int_of_float (c.Simnet.Cluster.conns_per_tor_p99 *. float_of_int c.Simnet.Cluster.n_tors))
+  in
+  Silkroad.Cost_model.replacement_ratio d
+
+let run ~quick:_ ppf =
+  let pop = Common.study_population () in
+  Common.header ppf "Figure 13: #SLBs replaced by one SilkRoad (CDF across clusters)";
+  Common.row ppf [ "class"; "median"; "p90"; "max" ];
+  Common.rule ppf;
+  List.iter
+    (fun cls ->
+      let rs = List.filter_map (fun c -> if c.Simnet.Cluster.cls = cls then Some (ratio c) else None) pop in
+      Common.row ppf
+        [ Simnet.Cluster.class_name cls;
+          Common.float1 (Simnet.Stats.median rs);
+          Common.float1 (Simnet.Stats.percentile rs 90.);
+          Common.float1 (List.fold_left Float.max 0. rs) ])
+    [ Simnet.Cluster.Pop; Simnet.Cluster.Frontend; Simnet.Cluster.Backend ];
+  Format.fprintf ppf
+    "  paper anchors: PoPs 2-3x; Frontends 11x median; Backends 3x median, 277x peak.@."

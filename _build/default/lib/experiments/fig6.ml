@@ -1,0 +1,24 @@
+(* Figure 6: number of active connections per ToR switch across clusters
+   (median-minute and p99-minute per cluster, CDF across clusters). *)
+
+let run ~quick:_ ppf =
+  let pop = Common.study_population () in
+  Common.header ppf "Figure 6: active connections per ToR (CDF across clusters)";
+  Common.row ppf [ "class"; "med(median)"; "p99(median)"; "med(p99)"; "max(p99)" ];
+  Common.rule ppf;
+  List.iter
+    (fun cls ->
+      let sel = List.filter (fun c -> c.Simnet.Cluster.cls = cls) pop in
+      let med = List.map (fun c -> c.Simnet.Cluster.conns_per_tor_median) sel in
+      let p99 = List.map (fun c -> c.Simnet.Cluster.conns_per_tor_p99) sel in
+      Common.row ppf
+        [ Simnet.Cluster.class_name cls;
+          Common.sci (Simnet.Stats.median med);
+          Common.sci (Simnet.Stats.p99 med);
+          Common.sci (Simnet.Stats.median p99);
+          Common.sci (List.fold_left Float.max 0. p99) ])
+    [ Simnet.Cluster.Pop; Simnet.Cluster.Frontend; Simnet.Cluster.Backend ];
+  Format.fprintf ppf
+    "  paper anchors: most loaded PoPs ~10-11M conns/ToR, Backends up to 15M,@.";
+  Format.fprintf ppf
+    "                 Frontends far fewer (persistent connections from PoPs).@."

@@ -1,0 +1,46 @@
+(* The experiment registry: every table and figure of the paper's
+   evaluation, addressable by id from both the bench harness and the
+   CLI. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : quick:bool -> Format.formatter -> unit;
+}
+
+let all =
+  [
+    { id = "fig2"; title = "DIP pool update frequency"; run = Fig2.run };
+    { id = "fig3"; title = "Root causes of DIP updates"; run = Fig3.run };
+    { id = "fig4"; title = "DIP downtime durations"; run = Fig4.run };
+    { id = "fig5"; title = "Duet: SLB load vs PCC violations"; run = Fig5.run };
+    { id = "fig5_cache"; title = "Duet under cache traffic (§3.2)"; run = Fig5.run_cache };
+    { id = "fig6"; title = "Active connections per ToR"; run = Fig6.run };
+    { id = "fig8"; title = "New connections per VIP-minute"; run = Fig8.run };
+    { id = "table1"; title = "ASIC SRAM trend"; run = Table1.run };
+    { id = "table2"; title = "SilkRoad hardware resources"; run = Table2.run };
+    { id = "fig12"; title = "SilkRoad SRAM usage per ToR"; run = Fig12.run };
+    { id = "fig13"; title = "SLBs replaced per SilkRoad"; run = Fig13.run };
+    { id = "fig14"; title = "Memory saving of digest/version"; run = Fig14.run };
+    { id = "fig15"; title = "Version reuse"; run = Fig15.run };
+    { id = "fig16"; title = "PCC vs update frequency"; run = Fig16.run };
+    { id = "fig17"; title = "PCC vs arrival rate"; run = Fig17.run };
+    { id = "fig18"; title = "TransitTable sizing"; run = Fig18.run };
+    { id = "digest_fp"; title = "Digest false positives (§6.1)"; run = Extras.digest_fp };
+    { id = "cost"; title = "Power & cost comparison (§6.1)"; run = Extras.cost };
+    { id = "meter"; title = "Meter accuracy (§5.2)"; run = Extras.meter };
+    { id = "ablate_cuckoo"; title = "Ablation: cuckoo geometry"; run = Ablation.cuckoo_geometry };
+    { id = "ablate_versions"; title = "Ablation: version width"; run = Ablation.version_bits };
+    { id = "ablate_hashing"; title = "Ablation: hashing disruption"; run = Ablation.hashing_disruption };
+    { id = "network_wide"; title = "Network-wide assignment (§5.3)"; run = Ablation.network_wide };
+    { id = "isolation"; title = "Performance isolation (§2.2/§5.2)"; run = Extensions.isolation };
+    { id = "switch_failure"; title = "Switch failure (§7)"; run = Extensions.switch_failure };
+    { id = "hybrid"; title = "SilkRoad+SLB hybrid (§7)"; run = Extensions.hybrid };
+    { id = "latency"; title = "Added latency per balancer (§2.2)"; run = Extensions.latency };
+    { id = "scale"; title = "ConnTable at scale (§5.2)"; run = Extensions.scale };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_all ~quick ppf =
+  List.iter (fun e -> e.run ~quick ppf) all

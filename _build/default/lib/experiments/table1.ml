@@ -1,0 +1,16 @@
+(* Table 1: trend of SRAM size and switching capacity in ASICs. *)
+
+let run ~quick:_ ppf =
+  Common.header ppf "Table 1: ASIC generations (capacity vs SRAM)";
+  Common.row ppf [ "generation"; "year"; "capacity"; "SRAM (MB)" ];
+  Common.rule ppf;
+  List.iter
+    (fun (g : Silkroad.Memory_model.generation) ->
+      Common.row ppf
+        [ g.Silkroad.Memory_model.gen_name;
+          string_of_int g.Silkroad.Memory_model.gen_year;
+          Printf.sprintf "%.1f Tbps" g.Silkroad.Memory_model.gen_tbps;
+          Printf.sprintf "%d-%d" g.Silkroad.Memory_model.gen_sram_mb_lo
+            g.Silkroad.Memory_model.gen_sram_mb_hi ])
+    Silkroad.Memory_model.asic_generations;
+  Format.fprintf ppf "  SRAM grew ~5x over four years, enabling in-ASIC ConnTables.@."

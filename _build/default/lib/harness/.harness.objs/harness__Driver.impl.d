@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Float Format Lb List Netcore Simnet

@@ -1,0 +1,159 @@
+type result = {
+  balancer_name : string;
+  connections : int;
+  broken_connections : int;
+  broken_fraction : float;
+  violation_packets : int;
+  packets : int;
+  dropped_packets : int;
+  asic_bytes : float;
+  cpu_bytes : float;
+  slb_bytes : float;
+  slb_traffic_fraction : float;
+  latency_median : float;
+  latency_p99 : float;
+}
+
+(* sub-microsecond pipeline latency (§5.2: "full line-rate load
+   balancing with sub-microsecond processing latency") *)
+let asic_latency = 0.7e-6
+
+(* "SLBs add a high latency of 50 us to 1 ms" (§2.2) *)
+let slb_latency = Simnet.Dist.lognormal_of_quantiles ~median:150e-6 ~p99:1e-3
+
+(* redirected packets cross PCI-E and the switch software: "a few
+   milliseconds delay to the redirected TCP SYN packet" (§4.2) *)
+let cpu_latency = Simnet.Dist.lognormal_of_quantiles ~median:2e-3 ~p99:10e-3
+
+type acc = {
+  balancer : Lb.Balancer.t;
+  pcc : Lb.Pcc.t;
+  lat_rng : Simnet.Prng.t;
+  mutable latencies : float list;
+  mutable packets : int;
+  mutable dropped : int;
+  mutable asic_bytes : float;
+  mutable cpu_bytes : float;
+  mutable slb_bytes : float;
+}
+
+(* One probe of [flow] at [at], carrying the traffic volume of the
+   [weight_dt] seconds preceding it. *)
+let probe acc ~flags ~weight_dt (flow : Simnet.Flow.t) at sim =
+  ignore sim;
+  let pkt = Netcore.Packet.make ~flags ~payload_len:1024 flow.Simnet.Flow.tuple in
+  acc.balancer.Lb.Balancer.advance ~now:at;
+  let outcome = acc.balancer.Lb.Balancer.process ~now:at pkt in
+  acc.packets <- acc.packets + 1;
+  let bytes = flow.Simnet.Flow.bytes_per_sec *. Float.max weight_dt 1e-4 in
+  (match outcome.Lb.Balancer.location with
+   | Lb.Balancer.Asic ->
+     acc.asic_bytes <- acc.asic_bytes +. bytes;
+     acc.latencies <- asic_latency :: acc.latencies
+   | Lb.Balancer.Switch_cpu ->
+     acc.cpu_bytes <- acc.cpu_bytes +. bytes;
+     acc.latencies <- Simnet.Dist.sample cpu_latency acc.lat_rng :: acc.latencies
+   | Lb.Balancer.Slb ->
+     acc.slb_bytes <- acc.slb_bytes +. bytes;
+     acc.latencies <- Simnet.Dist.sample slb_latency acc.lat_rng :: acc.latencies);
+  if outcome.Lb.Balancer.dip = None then acc.dropped <- acc.dropped + 1;
+  Lb.Pcc.on_packet acc.pcc ~flow_id:flow.Simnet.Flow.id ~dip:outcome.Lb.Balancer.dip;
+  if Netcore.Tcp_flags.is_connection_end flags then
+    Lb.Pcc.on_finish acc.pcc ~flow_id:flow.Simnet.Flow.id
+
+let default_early = [ 250e-6; 1e-3; 5e-3; 20e-3; 0.1 ]
+
+let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet.Flow.t) =
+  let start = flow.Simnet.Flow.start in
+  let finish = Float.min (Simnet.Flow.finish flow) horizon in
+  if start < horizon then begin
+    (* collect probe times: SYN, early offsets, steady interval, FIN *)
+    let times = ref [] in
+    List.iter
+      (fun off ->
+        let at = start +. off in
+        if at < finish then times := at :: !times)
+      early_offsets;
+    let rec steady at =
+      if at < finish then begin
+        times := at :: !times;
+        steady (at +. probe_interval)
+      end
+    in
+    steady (start +. probe_interval);
+    let times = List.sort_uniq Float.compare !times in
+    (* SYN packet *)
+    Simnet.Sim.schedule sim ~at:start
+      (probe acc ~flags:Netcore.Tcp_flags.syn ~weight_dt:0. flow start);
+    let last = ref start in
+    List.iter
+      (fun at ->
+        let dt = at -. !last in
+        last := at;
+        Simnet.Sim.schedule sim ~at
+          (probe acc ~flags:Netcore.Tcp_flags.data ~weight_dt:dt flow at))
+      times;
+    (* FIN, only when the flow actually ends inside the horizon *)
+    if Simnet.Flow.finish flow < horizon then begin
+      let at = Simnet.Flow.finish flow in
+      let dt = at -. !last in
+      Simnet.Sim.schedule sim ~at
+        (probe acc ~flags:Netcore.Tcp_flags.fin ~weight_dt:dt flow at)
+    end
+  end
+
+let run ?(early_offsets = default_early) ?(probe_interval = 15.) ~balancer ~flows ~updates
+    ~horizon () =
+  let sim = Simnet.Sim.create () in
+  let acc =
+    {
+      balancer;
+      pcc = Lb.Pcc.create ();
+      lat_rng = Simnet.Prng.create ~seed:0x1a7;
+      latencies = [];
+      packets = 0;
+      dropped = 0;
+      asic_bytes = 0.;
+      cpu_bytes = 0.;
+      slb_bytes = 0.;
+    }
+  in
+  List.iter (fun flow -> schedule_flow acc ~early_offsets ~probe_interval ~horizon sim flow) flows;
+  List.iter
+    (fun (at, vip, u) ->
+      if at < horizon then
+        Simnet.Sim.schedule sim ~at (fun _ ->
+            balancer.Lb.Balancer.advance ~now:at;
+            (* a removed DIP's server is gone: its connections are dead
+               on arrival, not PCC victims *)
+            (match u with
+             | Lb.Balancer.Dip_remove d -> Lb.Pcc.on_dip_removed acc.pcc ~dip:d
+             | Lb.Balancer.Dip_replace { old_dip; _ } ->
+               Lb.Pcc.on_dip_removed acc.pcc ~dip:old_dip
+             | Lb.Balancer.Dip_add _ -> ());
+            balancer.Lb.Balancer.update ~now:at ~vip u))
+    updates;
+  Simnet.Sim.run sim ~until:horizon;
+  balancer.Lb.Balancer.advance ~now:horizon;
+  let total_bytes = acc.asic_bytes +. acc.cpu_bytes +. acc.slb_bytes in
+  {
+    balancer_name = balancer.Lb.Balancer.name;
+    connections = Lb.Pcc.total acc.pcc;
+    broken_connections = Lb.Pcc.broken acc.pcc;
+    broken_fraction = Lb.Pcc.broken_fraction acc.pcc;
+    violation_packets = Lb.Pcc.violations acc.pcc;
+    packets = acc.packets;
+    dropped_packets = acc.dropped;
+    asic_bytes = acc.asic_bytes;
+    cpu_bytes = acc.cpu_bytes;
+    slb_bytes = acc.slb_bytes;
+    slb_traffic_fraction = (if total_bytes > 0. then acc.slb_bytes /. total_bytes else 0.);
+    latency_median = (if acc.latencies = [] then 0. else Simnet.Stats.median acc.latencies);
+    latency_p99 = (if acc.latencies = [] then 0. else Simnet.Stats.p99 acc.latencies);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%s: conns=%d broken=%d (%.4f%%) packets=%d dropped=%d slb-traffic=%.1f%%"
+    r.balancer_name r.connections r.broken_connections (100. *. r.broken_fraction) r.packets
+    r.dropped_packets (100. *. r.slb_traffic_fraction)

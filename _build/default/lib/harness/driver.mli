@@ -1,0 +1,51 @@
+(** The experiment driver: replay a flow-level workload and a DIP-update
+    schedule against any {!Lb.Balancer.t}, and measure what the paper
+    measures.
+
+    Each flow is turned into a packet train: a SYN at its start, a burst
+    of early probes (250 µs, 1 ms, 5 ms, 20 ms, 100 ms — inside the
+    connection-learning race window §4.3 is about), steady probes every
+    [probe_interval] for its lifetime (which expose Duet-style breakage
+    at migration time), and a FIN at its end. Every probe is checked by
+    the {!Lb.Pcc} oracle against the flow's first assignment; traffic
+    volume is attributed to whichever component handled each probe,
+    weighted by the flow's rate over the preceding inter-probe gap. *)
+
+type result = {
+  balancer_name : string;
+  connections : int;
+  broken_connections : int;
+  broken_fraction : float;
+  violation_packets : int;
+  packets : int;
+  dropped_packets : int;
+  asic_bytes : float;
+  cpu_bytes : float;
+  slb_bytes : float;
+  slb_traffic_fraction : float;  (** SLB bytes / total bytes — Figure 5a *)
+  latency_median : float;  (** load-balancer-added latency (seconds) *)
+  latency_p99 : float;
+}
+
+(** Per-packet latency added by the component that handled it, sampled
+    from the paper's characterizations: sub-microsecond in the ASIC
+    pipeline, 50 µs – 1 ms in an SLB (batched software processing),
+    milliseconds through the switch CPU slow path. *)
+
+val asic_latency : float
+val slb_latency : Simnet.Dist.t
+val cpu_latency : Simnet.Dist.t
+
+val run :
+  ?early_offsets:float list ->
+  ?probe_interval:float ->
+  balancer:Lb.Balancer.t ->
+  flows:Simnet.Flow.t list ->
+  updates:(float * Netcore.Endpoint.t * Lb.Balancer.update) list ->
+  horizon:float ->
+  unit ->
+  result
+(** Flows starting after [horizon] are ignored; probes are truncated at
+    [horizon]. Updates are applied at their scheduled times. *)
+
+val pp_result : Format.formatter -> result -> unit

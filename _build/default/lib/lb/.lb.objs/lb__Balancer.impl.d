@@ -1,0 +1,1 @@
+lib/lb/balancer.ml: Dip_pool Format Netcore

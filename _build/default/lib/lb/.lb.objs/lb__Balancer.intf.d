@@ -1,0 +1,1 @@
+lib/lb/balancer.mli: Dip_pool Format Netcore

@@ -1,0 +1,1 @@
+lib/lb/dip_pool.ml: Array Asic Format List Netcore

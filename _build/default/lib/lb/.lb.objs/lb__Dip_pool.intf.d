@@ -1,0 +1,1 @@
+lib/lb/dip_pool.mli: Format Netcore

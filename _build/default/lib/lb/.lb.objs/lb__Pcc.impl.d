@@ -1,0 +1,1 @@
+lib/lb/pcc.ml: Hashtbl Netcore

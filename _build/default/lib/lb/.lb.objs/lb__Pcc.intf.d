@@ -1,0 +1,1 @@
+lib/lb/pcc.mli: Netcore

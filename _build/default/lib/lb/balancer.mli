@@ -1,0 +1,43 @@
+(** The common interface every load balancer in this repository
+    implements — SilkRoad, the software balancer, Duet and stateless
+    ECMP — so the simulation harness and the PCC oracle can drive any of
+    them interchangeably.
+
+    A balancer is driven with three calls:
+    - {!advance} moves its internal control plane (switch CPU, SLB
+      migration timers, ...) forward to the current virtual time;
+    - {!process} forwards one packet and reports which DIP it went to
+      and which component handled it;
+    - {!update} requests a DIP-pool change for a VIP. *)
+
+type update =
+  | Dip_add of Netcore.Endpoint.t
+  | Dip_remove of Netcore.Endpoint.t
+  | Dip_replace of {
+      old_dip : Netcore.Endpoint.t;
+      new_dip : Netcore.Endpoint.t;
+    }
+
+type location =
+  | Asic  (** forwarded at line rate by the switching ASIC *)
+  | Switch_cpu  (** slow path through the switch management CPU *)
+  | Slb  (** handled by a software load balancer server *)
+
+type outcome = {
+  dip : Netcore.Endpoint.t option;  (** [None] = packet dropped *)
+  location : location;
+}
+
+type t = {
+  name : string;
+  advance : now:float -> unit;
+  process : now:float -> Netcore.Packet.t -> outcome;
+  update : now:float -> vip:Netcore.Endpoint.t -> update -> unit;
+  connections : unit -> int;  (** connection-table entries currently held *)
+}
+
+val pp_location : Format.formatter -> location -> unit
+val pp_update : Format.formatter -> update -> unit
+
+val apply_update : Dip_pool.t -> update -> Dip_pool.t
+(** The pure pool transformation an update denotes. *)

@@ -1,0 +1,57 @@
+type state = {
+  first : Netcore.Endpoint.t option;  (** None when the first packet was dropped *)
+  mutable bad : bool;
+  mutable excluded : bool;  (** its server went away: no longer judged *)
+}
+
+type t = {
+  live : (int, state) Hashtbl.t;
+  mutable total : int;
+  mutable broken : int;
+  mutable violations : int;
+}
+
+let create () = { live = Hashtbl.create 1024; total = 0; broken = 0; violations = 0 }
+
+let on_packet t ~flow_id ~dip =
+  match Hashtbl.find_opt t.live flow_id with
+  | None ->
+    t.total <- t.total + 1;
+    let bad = dip = None in
+    if bad then begin
+      t.broken <- t.broken + 1;
+      t.violations <- t.violations + 1
+    end;
+    Hashtbl.replace t.live flow_id { first = dip; bad; excluded = false }
+  | Some st when st.excluded -> ()
+  | Some st ->
+    let consistent =
+      match st.first, dip with
+      | Some f, Some d -> Netcore.Endpoint.equal f d
+      | None, _ -> false
+      | Some _, None -> false
+    in
+    if not consistent then begin
+      t.violations <- t.violations + 1;
+      if not st.bad then begin
+        st.bad <- true;
+        t.broken <- t.broken + 1
+      end
+    end
+
+let on_finish t ~flow_id = Hashtbl.remove t.live flow_id
+
+let on_dip_removed t ~dip =
+  Hashtbl.iter
+    (fun _ st ->
+      match st.first with
+      | Some d when Netcore.Endpoint.equal d dip -> st.excluded <- true
+      | Some _ | None -> ())
+    t.live
+
+let total t = t.total
+let broken t = t.broken
+
+let broken_fraction t = if t.total = 0 then 0. else float_of_int t.broken /. float_of_int t.total
+
+let violations t = t.violations

@@ -1,0 +1,40 @@
+(** The per-connection-consistency oracle.
+
+    PCC (§2.1): for a given connection c, every packet of c must be
+    mapped to the DIP chosen for c's first packet. The oracle watches
+    every (flow, packet, chosen DIP) the harness produces and records,
+    per flow, the first assignment and any later deviation. A flow with
+    at least one deviating or dropped packet is a {e broken} connection —
+    the quantity Figures 5b, 16, 17 and 18 report. *)
+
+type t
+
+val create : unit -> t
+
+val on_packet : t -> flow_id:int -> dip:Netcore.Endpoint.t option -> unit
+(** Record one forwarded packet of the flow. [dip = None] (drop) also
+    breaks the connection. *)
+
+val on_finish : t -> flow_id:int -> unit
+(** The flow ended; its tracking state can be discarded (its verdict is
+    kept). *)
+
+val on_dip_removed : t -> dip:Netcore.Endpoint.t -> unit
+(** A DIP left its pool (reboot, failure, ...): connections pinned to it
+    are dead regardless of what the balancer does, so the oracle stops
+    judging them. This mirrors the paper's accounting, where a PCC
+    violation is a {e live} connection remapped away from a {e live}
+    server. *)
+
+val total : t -> int
+(** Number of distinct connections observed. *)
+
+val broken : t -> int
+(** Connections with at least one inconsistent or dropped packet. *)
+
+val broken_fraction : t -> float
+(** [broken / total]; 0 when no connections were observed. *)
+
+val violations : t -> int
+(** Total inconsistent packets (a single broken connection may count
+    several). *)

@@ -1,0 +1,1 @@
+lib/netcore/endpoint.ml: Format Hashing Int Int64 Ip String

@@ -1,0 +1,1 @@
+lib/netcore/endpoint.mli: Format Ip

@@ -1,0 +1,1 @@
+lib/netcore/five_tuple.ml: Endpoint Format Hashing Int64 Ip Protocol

@@ -1,0 +1,1 @@
+lib/netcore/hashing.ml: Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/netcore/ip.ml: Bytes Format Hashing Int32 Int64 List Str_split String

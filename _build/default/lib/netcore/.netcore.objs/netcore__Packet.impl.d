@@ -1,0 +1,1 @@
+lib/netcore/packet.ml: Five_tuple Format Protocol Tcp_flags

@@ -1,0 +1,1 @@
+lib/netcore/packet.mli: Endpoint Five_tuple Format Tcp_flags

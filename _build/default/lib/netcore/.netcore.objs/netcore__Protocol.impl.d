@@ -1,0 +1,1 @@
+lib/netcore/protocol.ml: Format

@@ -1,0 +1,1 @@
+lib/netcore/str_split.mli:

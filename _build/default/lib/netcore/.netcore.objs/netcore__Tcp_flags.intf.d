@@ -1,0 +1,1 @@
+lib/netcore/tcp_flags.mli: Format

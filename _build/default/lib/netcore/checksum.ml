@@ -1,0 +1,25 @@
+let ones_complement_sum b =
+  let len = Bytes.length b in
+  let rec go acc i =
+    if i + 1 < len then
+      go (acc + ((Char.code (Bytes.get b i) lsl 8) lor Char.code (Bytes.get b (i + 1)))) (i + 2)
+    else if i < len then acc + (Char.code (Bytes.get b i) lsl 8)
+    else acc
+  in
+  let sum = go 0 0 in
+  (* Fold carries back in until the sum fits 16 bits. *)
+  let rec fold s = if s > 0xffff then fold ((s land 0xffff) + (s lsr 16)) else s in
+  fold sum
+
+let checksum b = lnot (ones_complement_sum b) land 0xffff
+
+let verify b = ones_complement_sum b = 0xffff
+
+let incremental_update ~old_checksum ~old_word ~new_word =
+  (* RFC 1624: HC' = ~(~HC + ~m + m') with ones-complement arithmetic. *)
+  let add a b =
+    let s = a + b in
+    (s land 0xffff) + (s lsr 16)
+  in
+  let nhc = add (add (lnot old_checksum land 0xffff) (lnot old_word land 0xffff)) new_word in
+  lnot nhc land 0xffff

@@ -1,0 +1,20 @@
+(** The Internet (RFC 1071) ones-complement checksum, plus the
+    incremental-update rule (RFC 1624) that a NAT device like a load
+    balancer applies when it rewrites a destination address. *)
+
+val ones_complement_sum : Bytes.t -> int
+(** 16-bit ones-complement sum of the byte string (final complement not
+    applied). *)
+
+val checksum : Bytes.t -> int
+(** The RFC 1071 checksum of the byte string: the complemented 16-bit
+    ones-complement sum. *)
+
+val verify : Bytes.t -> bool
+(** [verify b] is true when [b], which includes its checksum field, sums
+    to [0xffff] — i.e. the checksum is valid. *)
+
+val incremental_update : old_checksum:int -> old_word:int -> new_word:int -> int
+(** RFC 1624 eqn. 3: recompute a checksum after a single 16-bit word of
+    the covered data changed — this is what the data plane does when it
+    rewrites VIP to DIP without touching the payload. *)

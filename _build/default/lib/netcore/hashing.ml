@@ -1,0 +1,45 @@
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let seeded ~seed x =
+  (* The golden-ratio stride decorrelates nearby seeds before mixing. *)
+  let key = Int64.mul (Int64.of_int (seed + 1)) 0x9e3779b97f4a7c15L in
+  mix64 (Int64.logxor (mix64 key) x)
+
+let fold_bytes acc b =
+  let len = Bytes.length b in
+  let rec go acc off =
+    if off >= len then acc
+    else if len - off >= 8 then
+      go (mix64 (Int64.logxor acc (Bytes.get_int64_be b off))) (off + 8)
+    else
+      (* Tail bytes: widen one at a time. *)
+      let rec tail acc off =
+        if off >= len then mix64 acc
+        else
+          tail
+            (Int64.logxor (Int64.shift_left acc 8)
+               (Int64.of_int (Char.code (Bytes.get b off))))
+            (off + 1)
+      in
+      tail acc off
+  in
+  go acc 0
+
+let to_range h n =
+  assert (n > 0);
+  (* Keep 62 bits so the value fits OCaml's native positive int range. *)
+  let v = Int64.to_int (Int64.logand h 0x3FFF_FFFF_FFFF_FFFFL) in
+  v mod n
+
+let truncate_bits h k =
+  assert (k > 0 && k <= 30);
+  Int64.to_int (Int64.logand h (Int64.of_int ((1 lsl k) - 1)))
+
+type family = { seed : int }
+
+let family ~seed = { seed }
+
+let apply { seed } i x = seeded ~seed:(seed * 1013 + i * 7919 + 17) x

@@ -1,0 +1,28 @@
+(** A layer-4 packet as seen by the load balancer's data plane.
+
+    We model exactly the header fields the balancer reads or rewrites:
+    the 5-tuple, TCP flags, and payload length. The balancer's action is
+    destination NAT — rewriting [flow.dst] (the VIP) to the selected DIP. *)
+
+type t = {
+  flow : Five_tuple.t;
+  flags : Tcp_flags.t;
+  payload_len : int;  (** bytes of L4 payload *)
+}
+
+val make : ?flags:Tcp_flags.t -> ?payload_len:int -> Five_tuple.t -> t
+val syn : Five_tuple.t -> t
+(** First packet of a TCP connection. *)
+
+val fin : Five_tuple.t -> t
+val data : ?payload_len:int -> Five_tuple.t -> t
+
+val wire_size : t -> int
+(** Total bytes on the wire: Ethernet + IP + TCP/UDP headers + payload.
+    Used by meters and throughput accounting. *)
+
+val rewrite_dst : t -> Endpoint.t -> t
+(** Destination NAT: the balancer forwards the packet with the VIP
+    replaced by the chosen DIP. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,8 @@
+type t =
+  | Tcp
+  | Udp
+
+let equal a b = a = b
+let compare = compare
+let to_byte = function Tcp -> 6 | Udp -> 17
+let pp ppf t = Format.pp_print_string ppf (match t with Tcp -> "tcp" | Udp -> "udp")

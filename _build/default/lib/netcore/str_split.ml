@@ -1,0 +1,33 @@
+(* Helper for splitting IPv6 literals around the "::" abbreviation. *)
+
+type t =
+  | No_abbrev of string list
+  | Abbrev of string list * string list
+  | Malformed
+
+let non_empty_groups s =
+  if s = "" then [] else String.split_on_char ':' s
+
+let on_double_colon s =
+  let len = String.length s in
+  let rec find i =
+    if i + 1 >= len then None
+    else if s.[i] = ':' && s.[i + 1] = ':' then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None ->
+    if String.length s = 0 then Malformed else No_abbrev (String.split_on_char ':' s)
+  | Some i ->
+    let left = String.sub s 0 i in
+    let right = String.sub s (i + 2) (len - i - 2) in
+    (* A second "::" makes the literal ambiguous. *)
+    let rec has_other j =
+      if j + 1 >= String.length right then false
+      else if right.[j] = ':' && right.[j + 1] = ':' then true
+      else has_other (j + 1)
+    in
+    if has_other 0 then Malformed
+    else
+      let lg = non_empty_groups left and rg = non_empty_groups right in
+      if List.mem "" lg || List.mem "" rg then Malformed else Abbrev (lg, rg)

@@ -1,0 +1,9 @@
+(** Internal helper: split an IPv6 literal around its "::" abbreviation. *)
+
+type t =
+  | No_abbrev of string list  (** groups of a full 8-group literal *)
+  | Abbrev of string list * string list
+      (** groups left and right of a single "::" *)
+  | Malformed  (** empty string, or more than one "::" *)
+
+val on_double_colon : string -> t

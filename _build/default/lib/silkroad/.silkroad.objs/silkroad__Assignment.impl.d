@@ -1,0 +1,1 @@
+lib/silkroad/assignment.ml: Float Int List Netcore

@@ -1,0 +1,1 @@
+lib/silkroad/assignment.mli: Netcore

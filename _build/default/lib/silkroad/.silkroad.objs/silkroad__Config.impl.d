@@ -1,0 +1,1 @@
+lib/silkroad/config.ml: Float Int Result

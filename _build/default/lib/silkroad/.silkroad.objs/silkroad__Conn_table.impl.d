@@ -1,0 +1,1 @@
+lib/silkroad/conn_table.ml: Asic Config Hashtbl List Netcore

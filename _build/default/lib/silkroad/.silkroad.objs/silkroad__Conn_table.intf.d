@@ -1,0 +1,1 @@
+lib/silkroad/conn_table.mli: Config Netcore

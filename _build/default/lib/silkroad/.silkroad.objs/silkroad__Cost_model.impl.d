@@ -1,0 +1,1 @@
+lib/silkroad/cost_model.ml: Float Int

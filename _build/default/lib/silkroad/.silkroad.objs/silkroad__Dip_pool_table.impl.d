@@ -1,0 +1,1 @@
+lib/silkroad/dip_pool_table.ml: Array Hashtbl Lb List Netcore Version

@@ -1,0 +1,1 @@
+lib/silkroad/dip_pool_table.mli: Lb Netcore

@@ -1,0 +1,1 @@
+lib/silkroad/health_checker.ml: Hashtbl List Netcore

@@ -1,0 +1,1 @@
+lib/silkroad/hybrid.ml: Config Conn_table Hashtbl Lb List Netcore Switch

@@ -1,0 +1,1 @@
+lib/silkroad/hybrid.mli: Config Lb Netcore Switch

@@ -1,0 +1,1 @@
+lib/silkroad/memory_model.ml: Asic

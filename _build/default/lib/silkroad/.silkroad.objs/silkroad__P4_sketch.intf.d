@@ -1,0 +1,1 @@
+lib/silkroad/p4_sketch.mli: Config

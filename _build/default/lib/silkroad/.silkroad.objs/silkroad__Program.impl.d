@@ -1,0 +1,1 @@
+lib/silkroad/program.ml: Asic Int List

@@ -1,0 +1,1 @@
+lib/silkroad/program.mli: Asic

@@ -1,0 +1,1 @@
+lib/silkroad/switch.ml: Asic Config Conn_table Dip_pool_table Format Hashtbl Lb List Logs Netcore Option Queue Vip_table

@@ -1,0 +1,1 @@
+lib/silkroad/switch.mli: Asic Config Conn_table Dip_pool_table Lb Netcore Vip_table

@@ -1,0 +1,1 @@
+lib/silkroad/switch_group.ml: Array Asic Config Int Lb List Netcore Printf Switch

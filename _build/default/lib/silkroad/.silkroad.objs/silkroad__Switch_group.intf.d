@@ -1,0 +1,1 @@
+lib/silkroad/switch_group.mli: Config Lb Netcore Switch

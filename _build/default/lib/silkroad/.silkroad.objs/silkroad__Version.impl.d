@@ -1,0 +1,1 @@
+lib/silkroad/version.ml: Array Queue

@@ -1,0 +1,1 @@
+lib/silkroad/version.mli:

@@ -1,0 +1,1 @@
+lib/silkroad/vip_table.mli: Netcore

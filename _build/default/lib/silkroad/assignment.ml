@@ -1,0 +1,85 @@
+type layer = {
+  layer_name : string;
+  switches : int;
+  sram_budget_bits : int;
+  capacity_gbps : float;
+}
+
+type vip_demand = {
+  vip : Netcore.Endpoint.t;
+  conn_bits : int;
+  traffic_gbps : float;
+}
+
+type placement = {
+  assignment : (Netcore.Endpoint.t * string) list;
+  sram_utilization : (string * float) list;
+  traffic_utilization : (string * float) list;
+  max_sram_utilization : float;
+  unplaced : Netcore.Endpoint.t list;
+}
+
+type bin = {
+  layer : layer;
+  mutable used_bits_per_switch : float;
+  mutable used_gbps_per_switch : float;
+}
+
+let assign ~layers ~vips =
+  assert (layers <> []);
+  List.iter (fun l -> assert (l.switches > 0 && l.sram_budget_bits > 0)) layers;
+  let bins =
+    List.map (fun layer -> { layer; used_bits_per_switch = 0.; used_gbps_per_switch = 0. }) layers
+  in
+  (* First-fit decreasing: place the memory-hungriest VIPs first, each on
+     the layer that ends up least SRAM-utilized. *)
+  let sorted = List.sort (fun a b -> Int.compare b.conn_bits a.conn_bits) vips in
+  let assignment = ref [] in
+  let unplaced = ref [] in
+  List.iter
+    (fun v ->
+      let candidates =
+        List.filter_map
+          (fun bin ->
+            let add_bits = float_of_int v.conn_bits /. float_of_int bin.layer.switches in
+            let add_gbps = v.traffic_gbps /. float_of_int bin.layer.switches in
+            let new_bits = bin.used_bits_per_switch +. add_bits in
+            let new_gbps = bin.used_gbps_per_switch +. add_gbps in
+            if new_bits <= float_of_int bin.layer.sram_budget_bits
+               && new_gbps <= bin.layer.capacity_gbps
+            then Some (bin, add_bits, add_gbps, new_bits /. float_of_int bin.layer.sram_budget_bits)
+            else None)
+          bins
+      in
+      match candidates with
+      | [] -> unplaced := v.vip :: !unplaced
+      | first :: rest ->
+        let (bin, add_bits, add_gbps, _) =
+          List.fold_left
+            (fun ((_, _, _, bu) as best) ((_, _, _, cu) as cand) ->
+              if cu < bu then cand else best)
+            first rest
+        in
+        bin.used_bits_per_switch <- bin.used_bits_per_switch +. add_bits;
+        bin.used_gbps_per_switch <- bin.used_gbps_per_switch +. add_gbps;
+        assignment := (v.vip, bin.layer.layer_name) :: !assignment)
+    sorted;
+  let sram_utilization =
+    List.map
+      (fun bin ->
+        (bin.layer.layer_name, bin.used_bits_per_switch /. float_of_int bin.layer.sram_budget_bits))
+      bins
+  in
+  let traffic_utilization =
+    List.map
+      (fun bin -> (bin.layer.layer_name, bin.used_gbps_per_switch /. bin.layer.capacity_gbps))
+      bins
+  in
+  {
+    assignment = List.rev !assignment;
+    sram_utilization;
+    traffic_utilization;
+    max_sram_utilization =
+      List.fold_left (fun acc (_, u) -> Float.max acc u) 0. sram_utilization;
+    unplaced = List.rev !unplaced;
+  }

@@ -1,0 +1,39 @@
+(** Network-wide VIP-to-layer assignment (§5.3, Figure 11).
+
+    Rather than load balancing every VIP at its first-hop switch, the
+    operator may pin each VIP to one switch layer (ToR / Aggregation /
+    Core); the VIP's traffic then ECMP-splits over that layer's
+    SilkRoad switches, and so does its connection state. The paper
+    formulates choosing the layer as a bin-packing problem: minimize the
+    maximum SRAM utilization across switches subject to per-switch
+    forwarding capacity and SRAM budget.
+
+    We implement the natural greedy heuristic (first-fit decreasing by
+    memory demand), which is the standard approximation for min-max bin
+    packing. *)
+
+type layer = {
+  layer_name : string;
+  switches : int;  (** SilkRoad-enabled switches in the layer *)
+  sram_budget_bits : int;  (** per-switch SRAM budget for load balancing *)
+  capacity_gbps : float;  (** per-switch forwarding budget *)
+}
+
+type vip_demand = {
+  vip : Netcore.Endpoint.t;
+  conn_bits : int;  (** ConnTable + DIPPoolTable bits the VIP needs *)
+  traffic_gbps : float;
+}
+
+type placement = {
+  assignment : (Netcore.Endpoint.t * string) list;  (** VIP → layer name *)
+  sram_utilization : (string * float) list;  (** per layer, of one switch *)
+  traffic_utilization : (string * float) list;
+  max_sram_utilization : float;
+  unplaced : Netcore.Endpoint.t list;  (** VIPs no layer could host *)
+}
+
+val assign : layers:layer list -> vips:vip_demand list -> placement
+(** Greedy min-max assignment. A VIP's demand divides evenly over the
+    layer's switches (ECMP). VIPs that would push every layer past its
+    SRAM or traffic budget are reported unplaced. *)

@@ -1,0 +1,58 @@
+type t = {
+  digest_bits : int;
+  version_bits : int;
+  conn_table_stages : int;
+  conn_table_rows : int;
+  conn_table_ways : int;
+  transit_bytes : int;
+  transit_hashes : int;
+  learning_capacity : int;
+  learning_timeout : float;
+  cpu_insertions_per_sec : float;
+  idle_timeout : float;
+  use_transit : bool;
+  seed : int;
+}
+
+let default =
+  {
+    digest_bits = 16;
+    version_bits = 6;
+    conn_table_stages = 2;
+    conn_table_rows = 131072;
+    conn_table_ways = 4;
+    transit_bytes = 256;
+    transit_hashes = 2;
+    learning_capacity = 2048;
+    learning_timeout = 1e-3;
+    cpu_insertions_per_sec = 200_000.;
+    idle_timeout = 60.;
+    use_transit = true;
+    seed = 42;
+  }
+
+let conn_capacity t = t.conn_table_stages * t.conn_table_rows * t.conn_table_ways
+
+let sized_for ~connections =
+  assert (connections > 0);
+  let stages = 4 and ways = 4 in
+  let target = float_of_int connections /. 0.85 in
+  let rows = int_of_float (Float.ceil (target /. float_of_int (stages * ways))) in
+  { default with conn_table_stages = stages; conn_table_ways = ways; conn_table_rows = Int.max 1 rows }
+
+let max_versions t = 1 lsl t.version_bits
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.digest_bits >= 1 && t.digest_bits <= 30) "digest_bits must be in 1..30" in
+  let* () = check (t.version_bits >= 1 && t.version_bits <= 16) "version_bits must be in 1..16" in
+  let* () = check (t.conn_table_stages >= 2) "conn_table_stages must be >= 2" in
+  let* () = check (t.conn_table_rows > 0) "conn_table_rows must be positive" in
+  let* () = check (t.conn_table_ways >= 1) "conn_table_ways must be >= 1" in
+  let* () = check (t.transit_bytes > 0) "transit_bytes must be positive" in
+  let* () = check (t.transit_hashes >= 1 && t.transit_hashes <= 16) "transit_hashes in 1..16" in
+  let* () = check (t.learning_capacity > 0) "learning_capacity must be positive" in
+  let* () = check (t.learning_timeout >= 0.) "learning_timeout must be >= 0" in
+  let* () = check (t.cpu_insertions_per_sec > 0.) "cpu_insertions_per_sec must be positive" in
+  check (t.idle_timeout > 0.) "idle_timeout must be positive"

@@ -1,0 +1,42 @@
+(** SilkRoad switch configuration.
+
+    Defaults follow the paper's evaluation setup (§6): 16-bit digests,
+    6-bit versions, a 256-byte TransitTable Bloom filter, a learning
+    filter of 2K events with 1 ms timeout, and a switch CPU sustaining
+    200K ConnTable insertions per second. *)
+
+type t = {
+  digest_bits : int;  (** ConnTable match digest width (16) *)
+  version_bits : int;  (** DIP-pool version width (6) *)
+  conn_table_stages : int;  (** physical stages ConnTable spans *)
+  conn_table_rows : int;  (** rows per stage *)
+  conn_table_ways : int;  (** entries per row (word packing) *)
+  transit_bytes : int;  (** TransitTable Bloom filter size in bytes (256) *)
+  transit_hashes : int;  (** Bloom probe count (2) *)
+  learning_capacity : int;  (** learning filter capacity in events (2048) *)
+  learning_timeout : float;  (** learning filter timeout in seconds (1e-3) *)
+  cpu_insertions_per_sec : float;  (** switch CPU insertion rate (200e3) *)
+  idle_timeout : float;  (** ConnTable entry expiry for silent flows (60 s) *)
+  use_transit : bool;
+      (** when false, DIP-pool updates execute immediately with no
+          TransitTable protection — the "SilkRoad without TransitTable"
+          arm of Figure 16 *)
+  seed : int;
+}
+
+val default : t
+(** 2 stages x 131072 rows x 4 ways ≈ 1M-entry ConnTable, paper-default
+    parameters elsewhere. *)
+
+val sized_for : connections:int -> t
+(** A configuration whose ConnTable holds [connections] entries at ~85%
+    target occupancy (4 stages, 4 ways). *)
+
+val conn_capacity : t -> int
+(** Total ConnTable slots. *)
+
+val max_versions : t -> int
+(** 2^version_bits. *)
+
+val validate : t -> (unit, string) result
+(** Check the invariants (positive sizes, digest 1..30 bits, ...). *)

@@ -1,0 +1,179 @@
+module Table = Asic.Cuckoo.Make (struct
+  type t = Netcore.Five_tuple.t
+
+  let equal = Netcore.Five_tuple.equal
+  let hash = Netcore.Five_tuple.hash
+end)
+
+type t = {
+  table : int Table.t;
+  digest_bits : int;
+  version_bits : int;
+  (* software shadow index: (stage, row, digest) -> tracked connections
+     whose hardware lookup would match an entry stored there. Placement
+     of new entries is vetoed at positions that would shadow a tracked
+     connection. *)
+  probe_index : (int * int * int, Netcore.Five_tuple.t list ref) Hashtbl.t;
+  mutable false_hits : int;
+  mutable repairs : int;
+}
+
+type lookup_result = {
+  version : int;
+  exact : bool;
+}
+
+let register t k =
+  List.iter
+    (fun pos ->
+      match Hashtbl.find_opt t.probe_index pos with
+      | Some l -> l := k :: !l
+      | None -> Hashtbl.replace t.probe_index pos (ref [ k ]))
+    (Table.probe_positions t.table k)
+
+let unregister t k =
+  List.iter
+    (fun pos ->
+      match Hashtbl.find_opt t.probe_index pos with
+      | Some l ->
+        l := List.filter (fun k' -> not (Netcore.Five_tuple.equal k' k)) !l;
+        if !l = [] then Hashtbl.remove t.probe_index pos
+      | None -> ())
+    (Table.probe_positions t.table k)
+
+(* Would an entry for [k] placed at (stage, row) be falsely matched by a
+   tracked connection other than [k] itself? *)
+let placement_safe t k ~stage ~row =
+  match List.nth_opt (Table.probe_positions t.table k) stage with
+  | Some (_, r, digest) when r = row ->
+    (match Hashtbl.find_opt t.probe_index (stage, row, digest) with
+     | Some l -> not (List.exists (fun k' -> not (Netcore.Five_tuple.equal k' k)) !l)
+     | None -> true)
+  | Some _ | None -> true
+
+let create (cfg : Config.t) =
+  let t =
+    {
+      table =
+        Table.create ~seed:cfg.Config.seed ~digest_bits:cfg.Config.digest_bits
+          ~stages:cfg.Config.conn_table_stages ~rows_per_stage:cfg.Config.conn_table_rows
+          ~ways:cfg.Config.conn_table_ways ();
+      digest_bits = cfg.Config.digest_bits;
+      version_bits = cfg.Config.version_bits;
+      probe_index = Hashtbl.create 4096;
+      false_hits = 0;
+      repairs = 0;
+    }
+  in
+  Table.set_placement_filter t.table
+    (Some (fun k ~stage ~row -> placement_safe t k ~stage ~row));
+  t
+
+let capacity t = Table.capacity t.table
+let size t = Table.size t.table
+let occupancy t = Table.occupancy t.table
+
+let lookup t flow =
+  match Table.lookup t.table flow with
+  | None -> None
+  | Some hit ->
+    if not hit.Table.exact then t.false_hits <- t.false_hits + 1;
+    Some { version = hit.Table.value; exact = hit.Table.exact }
+
+let mem_exact t flow = Table.mem_exact t.table flow
+
+let insert t flow ~version =
+  match Table.insert t.table flow version with
+  | Ok moves ->
+    register t flow;
+    Ok moves
+  | (Error (`Full | `Duplicate)) as e -> e
+
+let remove t flow =
+  if Table.remove t.table flow then begin
+    unregister t flow;
+    true
+  end
+  else false
+
+(* Separating two digest-colliding connections: neither entry may stay in
+   a stage where the other falsely matches it. We move the resident away
+   from its current stage, insert the newcomer avoiding that stage too,
+   then verify both now hit exactly; on a bad verify we widen the set of
+   forbidden stages and retry. *)
+let repair_collision t flow ~version =
+  let exact_hit key =
+    match Table.lookup t.table key with
+    | Some hit -> hit.Table.exact
+    | None -> false
+  in
+  let rec attempt forbidden tries residents =
+    if tries > 2 * Table.stages t.table then Error `Full
+    else
+      match Table.lookup t.table flow with
+      | Some hit when not hit.Table.exact ->
+        (* Move the colliding resident out of the stage where the two
+           connections are indistinguishable, then retry. *)
+        let forbidden =
+          if List.mem hit.Table.stage forbidden then forbidden else hit.Table.stage :: forbidden
+        in
+        (match Table.relocate t.table hit.Table.key ~forbid_stages:forbidden with
+         | Ok _ | Error `Not_found ->
+           attempt forbidden (tries + 1) (hit.Table.key :: residents)
+         | Error `Full -> Error `Full)
+      | Some _ | None ->
+        (* No false hit left for the newcomer; make sure it has its own
+           entry (avoiding the collision stages) ... *)
+        (match
+           if Table.mem_exact t.table flow then Ok 0
+           else Table.insert ~forbid_stages:forbidden t.table flow version
+         with
+         | Error `Full -> Error `Full
+         | Error `Duplicate | Ok _ ->
+           (* ... and verify that the newcomer and every relocated
+              resident now resolve exactly. *)
+           if not (exact_hit flow) then begin
+             ignore (Table.remove t.table flow);
+             attempt forbidden (tries + 1) residents
+           end
+           else
+             let stale = List.filter (fun k -> not (exact_hit k)) residents in
+             (match stale with
+              | [] ->
+                t.repairs <- t.repairs + 1;
+                (* the raw table insert above bypassed [insert]: (re)index
+                   the newcomer exactly once *)
+                unregister t flow;
+                register t flow;
+                Ok ()
+              | k :: _ ->
+                (* a resident falsely hits the newcomer's entry: move the
+                   newcomer instead *)
+                (match Table.lookup t.table k with
+                 | Some h ->
+                   let forbidden =
+                     if List.mem h.Table.stage forbidden then forbidden
+                     else h.Table.stage :: forbidden
+                   in
+                   ignore (Table.remove t.table flow);
+                   attempt forbidden (tries + 1) residents
+                 | None ->
+                   ignore (Table.remove t.table flow);
+                   Error `Full)))
+  in
+  attempt [] 0 []
+
+let false_hits t = t.false_hits
+let repairs t = t.repairs
+let moves t = Table.moves t.table
+let failed_inserts t = Table.failed_inserts t.table
+
+(* digest + version + "a couple bytes of packing overhead" — the paper's
+   §6.1 configuration packs 16 + 6 + 6 = 28 bits, four entries per
+   112-bit word. *)
+let overhead_bits = 6
+
+let entry_bits t = t.digest_bits + t.version_bits + overhead_bits
+
+let sram_bits t =
+  Asic.Sram.bits_for_entries ~entry_bits:(entry_bits t) ~entries:(capacity t)

@@ -1,0 +1,57 @@
+(** ConnTable: the per-connection state table in the ASIC (§4.2).
+
+    A multi-stage cuckoo exact-match table whose entries store only a
+    16-bit per-stage hash {e digest} of the 5-tuple (instead of 37 bytes
+    for IPv6) and a 6-bit DIP-pool {e version} (instead of an 18-byte
+    DIP). Hardware lookups may therefore falsely hit a colliding entry;
+    a TCP SYN that hits an existing entry signals exactly this, and the
+    switch software repairs it by relocating the resident entry to a
+    stage whose different hash function separates the two connections.
+
+    Insertions and removals are software operations (the switch CPU runs
+    the cuckoo BFS); the {!Switch} module drives their timing. *)
+
+type t
+
+type lookup_result = {
+  version : int;
+  exact : bool;  (** false when the hit is a digest false positive *)
+}
+
+val create : Config.t -> t
+
+val capacity : t -> int
+val size : t -> int
+val occupancy : t -> float
+
+val lookup : t -> Netcore.Five_tuple.t -> lookup_result option
+(** Hardware lookup. Counts false positives as a side effect. *)
+
+val mem_exact : t -> Netcore.Five_tuple.t -> bool
+
+val insert : t -> Netcore.Five_tuple.t -> version:int -> (int, [ `Full | `Duplicate ]) result
+(** Software insertion; [Ok moves] gives the cuckoo move count. *)
+
+val remove : t -> Netcore.Five_tuple.t -> bool
+
+val repair_collision :
+  t -> Netcore.Five_tuple.t -> version:int -> (unit, [ `Full ]) result
+(** Called when a SYN of [flow] falsely hit an existing entry: relocate
+    the colliding resident entry to another stage and insert [flow] with
+    its own version so that both connections subsequently hit their own
+    entries exactly. Retries across stages; [`Full] if the table cannot
+    accommodate the separation. *)
+
+val false_hits : t -> int
+(** Hardware lookups that matched an entry whose true key differed. *)
+
+val repairs : t -> int
+val moves : t -> int
+val failed_inserts : t -> int
+
+val entry_bits : t -> int
+(** Bits per entry: digest + version + packing overhead (28 for the
+    default 16+6+6). *)
+
+val sram_bits : t -> int
+(** Provisioned (capacity-based) SRAM footprint with word packing. *)

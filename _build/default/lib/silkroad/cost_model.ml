@@ -1,0 +1,62 @@
+type demand = {
+  gbps : float;
+  mpps : float;
+  connections : int;
+}
+
+let slb_mpps = 12.
+let slb_gbps = 10.
+let slb_watts = 200.
+let slb_usd = 3_000.
+
+let silkroad_gpps = 10.
+let silkroad_tbps = 6.4
+let silkroad_connections = 10_000_000
+let silkroad_watts = 300.
+let silkroad_usd = 10_000.
+
+let demand_of_traffic ~gbps ~avg_packet_bytes ~connections =
+  assert (gbps >= 0. && avg_packet_bytes > 0 && connections >= 0);
+  let mpps = gbps *. 1e9 /. 8. /. float_of_int avg_packet_bytes /. 1e6 in
+  { gbps; mpps; connections }
+
+let ceil_div_f x y = Int.max 1 (int_of_float (Float.ceil (x /. y)))
+
+let slb_count d =
+  Int.max (ceil_div_f d.gbps slb_gbps) (ceil_div_f d.mpps slb_mpps)
+
+let silkroad_count d =
+  let by_traffic = ceil_div_f d.gbps (silkroad_tbps *. 1000.) in
+  let by_pps = ceil_div_f d.mpps (silkroad_gpps *. 1000.) in
+  let by_conns =
+    Int.max 1
+      (int_of_float
+         (Float.ceil (float_of_int d.connections /. float_of_int silkroad_connections)))
+  in
+  Int.max by_traffic (Int.max by_pps by_conns)
+
+let replacement_ratio d = float_of_int (slb_count d) /. float_of_int (silkroad_count d)
+
+type comparison = {
+  slb_watts_per_gpps : float;
+  silkroad_watts_per_gpps : float;
+  power_ratio : float;
+  slb_usd_per_gpps : float;
+  silkroad_usd_per_gpps : float;
+  cost_ratio : float;
+}
+
+let power_and_cost () =
+  let slb_gpps = slb_mpps /. 1000. in
+  let slb_watts_per_gpps = slb_watts /. slb_gpps in
+  let silkroad_watts_per_gpps = silkroad_watts /. silkroad_gpps in
+  let slb_usd_per_gpps = slb_usd /. slb_gpps in
+  let silkroad_usd_per_gpps = silkroad_usd /. silkroad_gpps in
+  {
+    slb_watts_per_gpps;
+    silkroad_watts_per_gpps;
+    power_ratio = slb_watts_per_gpps /. silkroad_watts_per_gpps;
+    slb_usd_per_gpps;
+    silkroad_usd_per_gpps;
+    cost_ratio = slb_usd_per_gpps /. silkroad_usd_per_gpps;
+  }

@@ -1,0 +1,65 @@
+(** DIPPoolTable: (VIP, version) → immutable DIP pool (§4.2, Figure 7).
+
+    The extra level of indirection that lets ConnTable store a 6-bit
+    version instead of an 18-byte DIP. Each VIP owns a private version
+    allocator; pools are reference-counted by the connections that use
+    them, and a pool whose connections have all expired is destroyed,
+    returning its version number to the VIP's ring buffer.
+
+    The table also implements {e version reuse}: when an update merely
+    substitutes a new DIP for a previously removed one, an existing old
+    pool is modified in place and becomes current again, instead of
+    burning a fresh version number. *)
+
+type t
+
+val create : version_bits:int -> seed:int -> t
+
+val add_vip : t -> Netcore.Endpoint.t -> Lb.Dip_pool.t -> (int, [ `Exists ]) result
+(** Register a VIP with its initial pool; returns the initial version. *)
+
+val has_vip : t -> Netcore.Endpoint.t -> bool
+val vips : t -> Netcore.Endpoint.t list
+
+val pool : t -> vip:Netcore.Endpoint.t -> version:int -> Lb.Dip_pool.t option
+
+val select_dip :
+  t -> vip:Netcore.Endpoint.t -> version:int -> Netcore.Five_tuple.t -> Netcore.Endpoint.t option
+(** Hash the flow over the pool of the given version. [None] when the
+    version is unknown or its pool is empty. *)
+
+val publish :
+  t -> vip:Netcore.Endpoint.t -> current:int -> Lb.Balancer.update ->
+  (int, [ `No_such_vip | `Versions_exhausted | `Bad_update of string ]) result
+(** Derive the pool for an update of the current version's pool and
+    return the version that should become current. Reuses an existing
+    allocated version when the update substitutes a removed DIP
+    (including explicit [Dip_replace]) or when an allocated version
+    already holds exactly the target pool (flapping DIPs, rolling
+    reboots revisiting a state); otherwise allocates a fresh version
+    for the new pool. *)
+
+val retain : t -> vip:Netcore.Endpoint.t -> version:int -> unit
+(** A connection started using this version. *)
+
+val release : t -> vip:Netcore.Endpoint.t -> version:int -> current:int -> unit
+(** A connection using this version ended. When the count reaches zero
+    and the version is not [current], the pool is destroyed and the
+    version returns to the ring buffer. *)
+
+val gc : t -> vip:Netcore.Endpoint.t -> current:int -> unit
+(** Destroy every version of the VIP that has no connections and is not
+    [current] — run after a VIPTable flip so a version that never
+    attracted connections is recycled promptly. *)
+
+val refcount : t -> vip:Netcore.Endpoint.t -> version:int -> int
+val live_versions : t -> vip:Netcore.Endpoint.t -> int
+(** Number of currently allocated versions for the VIP. *)
+
+val version_exhaustions : t -> int
+val reuses : t -> int
+(** How many updates were absorbed by version reuse. *)
+
+val sram_bits : t -> int
+(** Memory footprint of the table: one entry per (VIP, live version)
+    holding the member DIPs. *)

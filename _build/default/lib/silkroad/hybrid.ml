@@ -1,0 +1,97 @@
+(* The SLB side is a minimal in-process software balancer (ConnTable +
+   VIPTable in hashtables, atomic updates) — deliberately local so the
+   silkroad library does not depend on the baselines library. *)
+
+type soft_lb = {
+  soft_seed : int;
+  soft_vips : (Netcore.Endpoint.t, Lb.Dip_pool.t) Hashtbl.t;
+  soft_conns : (Netcore.Five_tuple.t, Netcore.Endpoint.t) Hashtbl.t;
+}
+
+let soft_process slb (pkt : Netcore.Packet.t) =
+  let flow = pkt.Netcore.Packet.flow in
+  let finish dip = { Lb.Balancer.dip; location = Lb.Balancer.Slb } in
+  match Hashtbl.find_opt slb.soft_conns flow with
+  | Some dip ->
+    if Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags then
+      Hashtbl.remove slb.soft_conns flow;
+    finish (Some dip)
+  | None ->
+    (match Hashtbl.find_opt slb.soft_vips flow.Netcore.Five_tuple.dst with
+     | None -> finish None
+     | Some pool ->
+       if Lb.Dip_pool.is_empty pool then finish None
+       else begin
+         let dip = Lb.Dip_pool.select_flow ~seed:slb.soft_seed pool flow in
+         if not (Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags) then
+           Hashtbl.replace slb.soft_conns flow dip;
+         finish (Some dip)
+       end)
+
+type t = {
+  sw : Switch.t;
+  slb : soft_lb;
+  overflow_threshold : float;
+  pinned : (Netcore.Endpoint.t, unit) Hashtbl.t;
+  (* connections spilled to the SLB by the overflow rule: they must stay
+     there for life even if occupancy later drops *)
+  spilled : (Netcore.Five_tuple.t, unit) Hashtbl.t;
+  mutable spill_count : int;
+}
+
+let create ?(cfg = Config.default) ?(overflow_threshold = 0.95) ?(slb_vips = []) ~seed ~vips () =
+  let sw = Switch.create cfg in
+  let slb =
+    { soft_seed = seed; soft_vips = Hashtbl.create 16; soft_conns = Hashtbl.create 1024 }
+  in
+  let pinned = Hashtbl.create 8 in
+  List.iter (fun v -> Hashtbl.replace pinned v ()) slb_vips;
+  List.iter
+    (fun (v, pool) ->
+      Hashtbl.replace slb.soft_vips v pool;
+      if not (Hashtbl.mem pinned v) then Switch.add_vip sw v pool)
+    vips;
+  { sw; slb; overflow_threshold; pinned; spilled = Hashtbl.create 1024; spill_count = 0 }
+
+let switch t = t.sw
+
+let process t ~now pkt =
+  let flow = pkt.Netcore.Packet.flow in
+  let vip = flow.Netcore.Five_tuple.dst in
+  if Hashtbl.mem t.pinned vip || Hashtbl.mem t.spilled flow then begin
+    if
+      Hashtbl.mem t.spilled flow
+      && Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags
+    then Hashtbl.remove t.spilled flow;
+    soft_process t.slb pkt
+  end
+  else if
+    (* overflow rule: a connection UNKNOWN to the switch arriving while
+       ConnTable runs hot spills to the SLB *)
+    Netcore.Tcp_flags.is_connection_start pkt.Netcore.Packet.flags
+    && Conn_table.occupancy (Switch.conn_table t.sw) >= t.overflow_threshold
+  then begin
+    Hashtbl.replace t.spilled flow ();
+    t.spill_count <- t.spill_count + 1;
+    soft_process t.slb pkt
+  end
+  else Switch.process t.sw ~now pkt
+
+let update t ~now ~vip u =
+  (* both components see every update; the SLB applies it atomically *)
+  (match Hashtbl.find_opt t.slb.soft_vips vip with
+   | Some pool -> Hashtbl.replace t.slb.soft_vips vip (Lb.Balancer.apply_update pool u)
+   | None -> ());
+  if Switch.has_vip t.sw vip then Switch.request_update t.sw ~now ~vip u
+
+let balancer t =
+  {
+    Lb.Balancer.name = "silkroad-hybrid";
+    advance = (fun ~now -> Switch.advance t.sw ~now);
+    process = (fun ~now pkt -> process t ~now pkt);
+    update = (fun ~now ~vip u -> update t ~now ~vip u);
+    connections = (fun () -> Switch.connections t.sw + Hashtbl.length t.slb.soft_conns);
+  }
+
+let spilled_connections t = t.spill_count
+let slb_connections t = Hashtbl.length t.slb.soft_conns

@@ -1,0 +1,57 @@
+type layout =
+  | Naive
+  | Digest_only
+  | Digest_version
+
+type generation = {
+  gen_name : string;
+  gen_year : int;
+  gen_tbps : float;
+  gen_sram_mb_lo : int;
+  gen_sram_mb_hi : int;
+}
+
+let asic_generations =
+  [
+    { gen_name = "<1.6 Tbps (Trident II / FlexPipe)"; gen_year = 2012; gen_tbps = 1.6;
+      gen_sram_mb_lo = 10; gen_sram_mb_hi = 20 };
+    { gen_name = "3.2 Tbps (Tomahawk / XPliant)"; gen_year = 2014; gen_tbps = 3.2;
+      gen_sram_mb_lo = 30; gen_sram_mb_hi = 60 };
+    { gen_name = "6.4+ Tbps (Tofino / Tomahawk II / Spectrum)"; gen_year = 2016; gen_tbps = 6.4;
+      gen_sram_mb_lo = 50; gen_sram_mb_hi = 100 };
+  ]
+
+(* §6 footnote 5: "an instruction address and a next table address". *)
+let overhead_bits = 6
+
+(* action data: DIP address + port *)
+let dip_action_bits ~ipv6 = if ipv6 then (16 + 2) * 8 else (4 + 2) * 8
+
+(* match key: the 5-tuple *)
+let tuple_key_bits ~ipv6 = if ipv6 then 37 * 8 else 13 * 8
+
+let conn_entry_bits ~layout ~ipv6 ~digest_bits ~version_bits =
+  match layout with
+  | Naive -> tuple_key_bits ~ipv6 + dip_action_bits ~ipv6 + overhead_bits
+  | Digest_only -> digest_bits + dip_action_bits ~ipv6 + overhead_bits
+  | Digest_version -> digest_bits + version_bits + overhead_bits
+
+let conn_table_bits ~layout ~ipv6 ~digest_bits ~version_bits ~connections =
+  let entry_bits = conn_entry_bits ~layout ~ipv6 ~digest_bits ~version_bits in
+  Asic.Sram.bits_for_entries ~entry_bits ~entries:connections
+
+let dip_pool_table_bits ~ipv6 ~versions ~total_dips =
+  let member_bits = dip_action_bits ~ipv6 in
+  versions * total_dips * member_bits
+
+let switch_bits ~layout ~ipv6 ~digest_bits ~version_bits ~connections ~versions ~total_dips =
+  let conn = conn_table_bits ~layout ~ipv6 ~digest_bits ~version_bits ~connections in
+  match layout with
+  | Naive | Digest_only -> conn
+  | Digest_version -> conn + dip_pool_table_bits ~ipv6 ~versions ~total_dips
+
+let saving_percent ~baseline ~compact =
+  if baseline = 0 then 0.
+  else 100. *. (1. -. (float_of_int compact /. float_of_int baseline))
+
+let mb = Asic.Sram.mib_of_bits

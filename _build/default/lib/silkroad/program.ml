@@ -1,0 +1,62 @@
+(* Table geometry mirrors Figure 10 with the §6 encoding: IPv6 keys,
+   16-bit digests, 6-bit versions, 64 versions provisioned per VIP. *)
+
+let digest_bits = 16
+let version_bits = 6
+let tuple_bits = 37 * 8  (* IPv6 5-tuple on the match crossbar *)
+let vip_bits = (16 + 2) * 8  (* VIP address + port *)
+let dip_bits = (16 + 2) * 8
+
+let silkroad_tables ~connections ~vips =
+  assert (connections > 0 && vips > 0);
+  let row_bits n =
+    (* bits to address the rows holding n entries, 4-way packed *)
+    let rec go acc m = if m <= 1 then acc else go (acc + 1) ((m + 1) / 2) in
+    go 0 (Int.max 1 (n / 4))
+  in
+  [
+    (* ConnTable: digest -> version, two cuckoo stages *)
+    Asic.Table_spec.make ~name:"ConnTable" ~entries:connections ~match_key_bits:tuple_bits
+      ~stored_key_bits:digest_bits ~action_data_bits:version_bits ~n_actions:2
+      ~index_hash_bits:(2 * (row_bits connections + digest_bits))
+      ~metadata_phv_bits:version_bits ();
+    (* VIPTable: VIP -> current version + update phase *)
+    Asic.Table_spec.make ~name:"VIPTable" ~entries:vips ~match_key_bits:vip_bits
+      ~action_data_bits:(version_bits + 2) ~n_actions:2 ~index_hash_bits:(row_bits vips)
+      ~metadata_phv_bits:(version_bits + 2) ();
+    (* DIPPoolTable member table: (VIP, version) group -> DIP; one member
+       entry per (version, DIP) *)
+    Asic.Table_spec.make ~name:"DIPPoolTable" ~entries:(64 * vips)
+      ~match_key_bits:(vip_bits + version_bits) ~action_data_bits:dip_bits ~n_actions:2
+      ~index_hash_bits:(row_bits (64 * vips) + 14) ~metadata_phv_bits:0 ();
+    (* LearnTable: trigger connection learning on ConnTable miss *)
+    Asic.Table_spec.make ~name:"LearnTable" ~entries:1 ~match_key_bits:8 ~action_data_bits:0
+      ~n_actions:1 ~metadata_phv_bits:2 ();
+  ]
+
+let transit_bloom_bits = 256 * 8
+let transit_hashes = 2
+
+let additional_resources ~connections ~vips =
+  let tables = Asic.Resources.sum (List.map Asic.Table_spec.resources (silkroad_tables ~connections ~vips)) in
+  let transit =
+    (* Bloom filter on register memory: two banks of stateful ALUs plus
+       two more for the learning notification / stats registers *)
+    Asic.Resources.make ~sram_bits:transit_bloom_bits ~stateful_alus:4
+      ~hash_bits:(transit_hashes * 11) ~vliw_actions:2 ~phv_bits:2 ()
+  in
+  (* intermediate metadata shared between the tables (Figure 10):
+     old/new version, digest, update-phase flags *)
+  let metadata = Asic.Resources.make ~phv_bits:(2 * version_bits + digest_bits + 4) () in
+  Asic.Resources.sum [ tables; transit; metadata ]
+
+(* The frozen switch.p4 baseline vector. Derived once from the additions
+   our model computes at the paper's operating point (1M connections) and
+   Table 2's published percentages; kept constant thereafter. *)
+let baseline_switch_p4 =
+  Asic.Resources.make ~match_crossbar_bits:1600 ~sram_bits:180_000_000 ~tcam_bits:2_000_000
+    ~vliw_actions:48 ~hash_bits:345 ~stateful_alus:9 ~phv_bits:5200 ()
+
+let table2 ~connections ~vips =
+  Asic.Resources.relative_to ~base:baseline_switch_p4
+    (additional_resources ~connections ~vips)

@@ -1,0 +1,26 @@
+(** The SilkRoad P4 program's hardware footprint (Table 2).
+
+    The paper implements SilkRoad in ~400 lines of P4 on top of a
+    baseline [switch.p4] (~5000 lines of L2/L3/ACL/QoS) and reports the
+    {e additional} pipeline resources at 1 M connection entries,
+    normalized by the baseline's usage. We rebuild the addition from the
+    table inventory of Figure 10 (ConnTable, VIPTable, DIPPoolTable,
+    TransitTable, LearnTable) via {!Asic.Table_spec}, and normalize by a
+    fixed baseline resource vector representing [switch.p4] (constants
+    below, derived once from the paper's implied totals and kept
+    frozen — so changes to our model show up as drift from Table 2). *)
+
+val silkroad_tables : connections:int -> vips:int -> Asic.Table_spec.t list
+(** The match-action tables SilkRoad adds, sized for the given scale
+    (IPv6 keys, 16-bit digests, 6-bit versions, 64 versions/VIP
+    provisioned in DIPPoolTable). *)
+
+val additional_resources : connections:int -> vips:int -> Asic.Resources.t
+(** Table resources plus the TransitTable register array / stateful
+    ALUs and the metadata PHV bits. *)
+
+val baseline_switch_p4 : Asic.Resources.t
+(** The frozen baseline [switch.p4] resource vector. *)
+
+val table2 : connections:int -> vips:int -> Asic.Resources.percentages
+(** Additional usage as percentages of the baseline — Table 2's rows. *)

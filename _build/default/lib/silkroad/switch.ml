@@ -1,0 +1,652 @@
+type conn_state = {
+  cs_vip : Netcore.Endpoint.t;
+  cs_version : int;  (** version assigned when the connection arrived *)
+  mutable inserted : bool;
+  mutable in_pipeline : bool;  (** learning event in the filter or at the CPU *)
+  mutable ended : bool;
+  mutable last_seen : float;
+}
+
+type job_phase =
+  | Job_recording
+  | Job_dual
+
+type update_job = {
+  job_vip : Netcore.Endpoint.t;
+  job_update : Lb.Balancer.update;
+  started : float;
+  (* pending connections gating the next phase transition *)
+  waiting : (Netcore.Five_tuple.t, unit) Hashtbl.t;
+  (* connections recorded in the Bloom filter during step 1, still
+     pending; becomes [waiting] at execution time *)
+  recorded : (Netcore.Five_tuple.t, unit) Hashtbl.t;
+  mutable job_phase : job_phase;
+}
+
+type cpu_work =
+  | Insert_batch of Netcore.Five_tuple.t list
+  | Delete_batch of Netcore.Five_tuple.t list
+
+type stats = {
+  asic_packets : int;
+  cpu_packets : int;
+  dropped_packets : int;
+  connections_seen : int;
+  false_hits : int;
+  collision_repairs : int;
+  learning_drops : int;
+  table_full_drops : int;
+  updates_completed : int;
+  updates_failed : int;
+  transit_clears : int;
+  forced_transitions : int;
+}
+
+type t = {
+  cfg : Config.t;
+  conns : Conn_table.t;
+  pools : Dip_pool_table.t;
+  vips : Vip_table.t;
+  transit : Asic.Bloom_filter.t;
+  learning : (Netcore.Five_tuple.t, unit) Asic.Learning_filter.t;
+  cpu : Asic.Switch_cpu.t;
+  (* completion times are monotone (FIFO CPU), so a plain queue works *)
+  cpu_done : (float * cpu_work) Queue.t;
+  flows : (Netcore.Five_tuple.t, conn_state) Hashtbl.t;
+  (* lazy idle-timeout timers: one wheel entry per tracked connection,
+     verified against last_seen on expiry *)
+  aging : Netcore.Five_tuple.t Asic.Timer_wheel.t;
+  meters : (Netcore.Endpoint.t, Asic.Meter.t) Hashtbl.t;  (** per-VIP rate limiters *)
+  jobs : (Netcore.Endpoint.t, update_job) Hashtbl.t;  (** active job per VIP *)
+  job_queue : (Netcore.Endpoint.t, Lb.Balancer.update Queue.t) Hashtbl.t;
+  mutable clock : float;  (** latest time the control plane has seen *)
+  (* counters *)
+  mutable asic_packets : int;
+  mutable cpu_packets : int;
+  mutable dropped_packets : int;
+  mutable connections_seen : int;
+  mutable learning_drops : int;
+  mutable table_full_drops : int;
+  mutable updates_completed : int;
+  mutable updates_failed : int;
+  mutable transit_clears : int;
+  mutable forced_transitions : int;
+  mutable metered_drops : int;
+}
+
+let src = Logs.Src.create "silkroad.switch" ~doc:"SilkRoad switch control plane"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Updates stuck behind a barrier member that will never be inserted
+   (e.g. its learning event was dropped and the flow went quiet) are
+   force-released after this many seconds. Counted in [forced_transitions]
+   — always 0 in a healthy configuration. *)
+let barrier_deadline = 5.
+
+let create cfg =
+  (match Config.validate cfg with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Switch.create: " ^ msg));
+  {
+    cfg;
+    conns = Conn_table.create cfg;
+    pools = Dip_pool_table.create ~version_bits:cfg.Config.version_bits ~seed:cfg.Config.seed;
+    vips = Vip_table.create ();
+    transit =
+      Asic.Bloom_filter.create ~seed:cfg.Config.seed ~bits:(cfg.Config.transit_bytes * 8)
+        ~hashes:cfg.Config.transit_hashes ();
+    learning =
+      Asic.Learning_filter.create ~capacity:cfg.Config.learning_capacity
+        ~timeout:cfg.Config.learning_timeout ();
+    cpu = Asic.Switch_cpu.create ~insertions_per_sec:cfg.Config.cpu_insertions_per_sec;
+    cpu_done = Queue.create ();
+    flows = Hashtbl.create 4096;
+    aging =
+      Asic.Timer_wheel.create ~granularity:(cfg.Config.idle_timeout /. 4.) ~slots:16 ();
+    meters = Hashtbl.create 8;
+    jobs = Hashtbl.create 16;
+    job_queue = Hashtbl.create 16;
+    clock = 0.;
+    asic_packets = 0;
+    cpu_packets = 0;
+    dropped_packets = 0;
+    connections_seen = 0;
+    learning_drops = 0;
+    table_full_drops = 0;
+    updates_completed = 0;
+    updates_failed = 0;
+    transit_clears = 0;
+    forced_transitions = 0;
+    metered_drops = 0;
+  }
+
+let config t = t.cfg
+
+let add_vip t vip pool =
+  match Dip_pool_table.add_vip t.pools vip pool with
+  | Ok version -> Vip_table.add t.vips vip ~version
+  | Error `Exists -> invalid_arg "Switch.add_vip: VIP exists"
+
+let has_vip t vip = Vip_table.mem t.vips vip
+
+let flow_hash t flow = Netcore.Five_tuple.hash ~seed:(t.cfg.Config.seed lxor 0x7a17) flow
+
+let current_version t vip =
+  match Vip_table.current t.vips vip with
+  | Some v -> v
+  | None -> invalid_arg "Switch: unknown VIP"
+
+(* ----- update job state machine ----- *)
+
+let clear_transit_if_idle t =
+  if Vip_table.updating_count t.vips = 0 && Asic.Bloom_filter.population t.transit > 0 then begin
+    Asic.Bloom_filter.clear t.transit;
+    t.transit_clears <- t.transit_clears + 1
+  end
+
+let rec start_next_queued t ~now vip =
+  match Hashtbl.find_opt t.job_queue vip with
+  | None -> ()
+  | Some q ->
+    (match Queue.take_opt q with
+     | None -> ()
+     | Some u -> start_job t ~now vip u)
+
+and finish_job t ~now job =
+  Log.debug (fun m ->
+      m "update %a on %a finished at %.6f (t_req %.6f)" Lb.Balancer.pp_update job.job_update
+        Netcore.Endpoint.pp job.job_vip now job.started);
+  Vip_table.finish t.vips job.job_vip;
+  Hashtbl.remove t.jobs job.job_vip;
+  t.updates_completed <- t.updates_completed + 1;
+  Dip_pool_table.gc t.pools ~vip:job.job_vip ~current:(current_version t job.job_vip);
+  clear_transit_if_idle t;
+  start_next_queued t ~now job.job_vip
+
+and execute_job t ~now job =
+  let vip = job.job_vip in
+  let current = current_version t vip in
+  (match Dip_pool_table.publish t.pools ~vip ~current job.job_update with
+   | Ok new_version ->
+     Vip_table.execute t.vips vip ~new_version;
+     job.job_phase <- Job_dual;
+     (* step 3 waits for the connections recorded during step 1 *)
+     Hashtbl.reset job.waiting;
+     Hashtbl.iter (fun k () -> Hashtbl.replace job.waiting k ()) job.recorded;
+     if Hashtbl.length job.waiting = 0 then finish_job t ~now job
+   | Error ((`No_such_vip | `Versions_exhausted | `Bad_update _) as err) ->
+     Log.warn (fun m ->
+         m "update %a on %a aborted: %s" Lb.Balancer.pp_update job.job_update
+           Netcore.Endpoint.pp vip
+           (match err with
+            | `No_such_vip -> "no such VIP"
+            | `Versions_exhausted -> "version numbers exhausted"
+            | `Bad_update msg -> msg));
+     Vip_table.cancel_recording t.vips vip;
+     Hashtbl.remove t.jobs vip;
+     t.updates_failed <- t.updates_failed + 1;
+     clear_transit_if_idle t;
+     start_next_queued t ~now vip)
+
+and check_job_transition t ~now job =
+  if Hashtbl.length job.waiting = 0 then begin
+    match job.job_phase with
+    | Job_recording -> execute_job t ~now job
+    | Job_dual -> finish_job t ~now job
+  end
+
+and start_job t ~now vip update =
+  let job =
+    {
+      job_vip = vip;
+      job_update = update;
+      started = now;
+      waiting = Hashtbl.create 64;
+      recorded = Hashtbl.create 64;
+      job_phase = Job_recording;
+    }
+  in
+  Vip_table.start_recording t.vips vip;
+  (* step 1 barrier: every connection of this VIP that arrived before
+     the request but is not yet in ConnTable. Without a TransitTable
+     there is nothing to wait for — the update executes immediately and
+     pending connections are left unprotected (Figure 16's ablation). *)
+  if t.cfg.Config.use_transit then
+    Hashtbl.iter
+      (fun flow (st : conn_state) ->
+        if Netcore.Endpoint.equal st.cs_vip vip && (not st.inserted) && not st.ended then
+          Hashtbl.replace job.waiting flow ())
+      t.flows;
+  Hashtbl.replace t.jobs vip job;
+  check_job_transition t ~now job
+
+(* a pending connection of [vip] was installed (or abandoned): release
+   any barrier waiting on it *)
+let barrier_resolved t ~now ~vip flow =
+  match Hashtbl.find_opt t.jobs vip with
+  | None -> ()
+  | Some job ->
+    Hashtbl.remove job.recorded flow;
+    if Hashtbl.mem job.waiting flow then begin
+      Hashtbl.remove job.waiting flow;
+      check_job_transition t ~now job
+    end
+
+(* ----- connection state bookkeeping ----- *)
+
+let destroy_state t flow (st : conn_state) =
+  Asic.Timer_wheel.cancel t.aging ~key:flow;
+  (match Vip_table.current t.vips st.cs_vip with
+   | Some current ->
+     Dip_pool_table.release t.pools ~vip:st.cs_vip ~version:st.cs_version ~current
+   | None -> ());
+  Hashtbl.remove t.flows flow
+
+(* ----- control plane ----- *)
+
+let complete_cpu_work t ~now =
+  let rec go () =
+    match Queue.peek_opt t.cpu_done with
+    | Some (at, work) when at <= now ->
+      ignore (Queue.pop t.cpu_done);
+      (match work with
+       | Insert_batch flows ->
+         List.iter
+           (fun flow ->
+             match Hashtbl.find_opt t.flows flow with
+             | None -> ()  (* state already destroyed *)
+             | Some st ->
+               st.in_pipeline <- false;
+               if st.ended then begin
+                 (* flow finished before its entry was installed *)
+                 barrier_resolved t ~now ~vip:st.cs_vip flow;
+                 destroy_state t flow st
+               end
+               else if not st.inserted then begin
+                 (match Conn_table.insert t.conns flow ~version:st.cs_version with
+                  | Ok _ -> st.inserted <- true
+                  | Error `Duplicate -> st.inserted <- true
+                  | Error `Full ->
+                    t.table_full_drops <- t.table_full_drops + 1;
+                    Log.warn (fun m ->
+                        m "ConnTable full (%.1f%%): connection left stateless"
+                          (100. *. Conn_table.occupancy t.conns));
+                    (* stays a pending connection; must not gate updates *)
+                    st.inserted <- false);
+                 barrier_resolved t ~now ~vip:st.cs_vip flow
+               end)
+           flows
+       | Delete_batch flows ->
+         List.iter
+           (fun flow ->
+             ignore (Conn_table.remove t.conns flow);
+             match Hashtbl.find_opt t.flows flow with
+             | Some st -> destroy_state t flow st
+             | None -> ())
+           flows);
+      go ()
+    | Some _ | None -> ()
+  in
+  go ()
+
+let drain_learning t ~at =
+  let batch = Asic.Learning_filter.drain t.learning in
+  if batch <> [] then begin
+    let flows = List.map fst batch in
+    let done_at = Asic.Switch_cpu.submit t.cpu ~now:at ~work_items:(List.length flows) in
+    Queue.add (done_at, Insert_batch flows) t.cpu_done
+  end
+
+let submit_delete t ~now flow =
+  let done_at = Asic.Switch_cpu.submit t.cpu ~now ~work_items:1 in
+  Queue.add (done_at, Delete_batch [ flow ]) t.cpu_done
+
+let expire_idle t ~now =
+  List.iter
+    (fun flow ->
+      match Hashtbl.find_opt t.flows flow with
+      | None -> ()
+      | Some (st : conn_state) ->
+        if st.ended then ()
+        else if now -. st.last_seen >= t.cfg.Config.idle_timeout then begin
+          st.ended <- true;
+          if st.inserted then submit_delete t ~now flow
+          else begin
+            (* never installed (e.g. table full): just drop the state *)
+            barrier_resolved t ~now ~vip:st.cs_vip flow;
+            destroy_state t flow st
+          end
+        end
+        else
+          (* saw traffic since: re-arm for the remaining idle budget *)
+          Asic.Timer_wheel.schedule t.aging ~key:flow
+            ~at:(st.last_seen +. t.cfg.Config.idle_timeout))
+    (Asic.Timer_wheel.advance t.aging ~now)
+
+let release_stuck_barriers t ~now =
+  Hashtbl.iter
+    (fun _ job ->
+      if now -. job.started > barrier_deadline && Hashtbl.length job.waiting > 0 then begin
+        t.forced_transitions <- t.forced_transitions + 1;
+        Log.warn (fun m ->
+            m "update barrier on %a stuck for %.1fs: force-releasing %d pending connections"
+              Netcore.Endpoint.pp job.job_vip (now -. job.started)
+              (Hashtbl.length job.waiting));
+        Hashtbl.reset job.waiting
+      end)
+    t.jobs;
+  (* transitions for any job whose barrier was force-cleared *)
+  let ready = Hashtbl.fold (fun _ job acc -> job :: acc) t.jobs [] in
+  List.iter
+    (fun job -> if Hashtbl.length job.waiting = 0 then check_job_transition t ~now job)
+    ready
+
+let advance t ~now =
+  if now >= t.clock then begin
+    t.clock <- now;
+    (* due learning batches first: their completions may already be due *)
+    let rec drain_due () =
+      match Asic.Learning_filter.next_deadline t.learning with
+      | Some deadline when deadline <= now ->
+        drain_learning t ~at:deadline;
+        drain_due ()
+      | Some _ | None -> ()
+    in
+    drain_due ();
+    complete_cpu_work t ~now;
+    expire_idle t ~now;
+    release_stuck_barriers t ~now
+  end
+
+(* ----- data plane ----- *)
+
+let outcome_drop = { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+
+let forward t ~vip ~version flow ~location =
+  match Dip_pool_table.select_dip t.pools ~vip ~version flow with
+  | Some dip ->
+    (match location with
+     | Lb.Balancer.Asic -> t.asic_packets <- t.asic_packets + 1
+     | Lb.Balancer.Switch_cpu | Lb.Balancer.Slb -> t.cpu_packets <- t.cpu_packets + 1);
+    { Lb.Balancer.dip = Some dip; location }
+  | None ->
+    t.dropped_packets <- t.dropped_packets + 1;
+    outcome_drop
+
+(* learning: raise an event for a connection whose entry is missing *)
+let learn t ~now flow (st : conn_state) =
+  if not st.in_pipeline then begin
+    match Asic.Learning_filter.offer t.learning ~now flow () with
+    | `Accepted ->
+      st.in_pipeline <- true;
+      if Asic.Learning_filter.pending t.learning >= Asic.Learning_filter.capacity t.learning
+      then drain_learning t ~at:now
+    | `Duplicate -> st.in_pipeline <- true
+    | `Dropped -> t.learning_drops <- t.learning_drops + 1
+  end
+
+(* the version VIPTable + TransitTable assign to a ConnTable miss *)
+let version_for_miss t flow ~vip ~syn =
+  match Vip_table.phase t.vips vip with
+  | None -> None
+  | Some Vip_table.Idle -> Some (current_version t vip, `Plain)
+  | Some Vip_table.Recording ->
+    (* step 1: old pool, and remember the connection *)
+    if t.cfg.Config.use_transit then Asic.Bloom_filter.add t.transit (flow_hash t flow);
+    Some (current_version t vip, `Recorded)
+  | Some (Vip_table.Dual { old_version }) ->
+    if t.cfg.Config.use_transit && Asic.Bloom_filter.mem t.transit (flow_hash t flow) then
+      if syn then
+        (* a SYN cannot be a pending connection: redirect to software,
+           which confirms it is new and uses the new version (§4.3) *)
+        Some (current_version t vip, `Cpu_checked)
+      else Some (old_version, `Plain)
+    else Some (current_version t vip, `Plain)
+
+let handle_miss t ~now pkt flow ~vip ~syn =
+  match version_for_miss t flow ~vip ~syn with
+  | None -> outcome_drop
+  | Some (version, how) ->
+    let location =
+      match how with
+      | `Cpu_checked -> Lb.Balancer.Switch_cpu
+      | `Plain | `Recorded -> Lb.Balancer.Asic
+    in
+    let ends = Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags in
+    (match Hashtbl.find_opt t.flows flow with
+     | Some st ->
+       (* a pending connection's later packet *)
+       st.last_seen <- now;
+       if ends then st.ended <- true;
+       (match how with
+        | `Recorded ->
+          (match Hashtbl.find_opt t.jobs vip with
+           | Some job when not st.inserted -> Hashtbl.replace job.recorded flow ()
+           | Some _ | None -> ())
+        | `Plain | `Cpu_checked -> ());
+       learn t ~now flow st;
+       (* the software slow path knows the connection's true version; the
+          hardware fast path forwards with the freshly computed one — if
+          that differs from the connection's own, that is exactly a PCC
+          hazard *)
+       let version =
+         match how with `Cpu_checked -> st.cs_version | `Plain | `Recorded -> version
+       in
+       forward t ~vip ~version flow ~location
+     | None ->
+       if ends then
+         (* first-and-last packet: nothing worth learning *)
+         forward t ~vip ~version flow ~location
+       else begin
+         t.connections_seen <- t.connections_seen + 1;
+         let st =
+           {
+             cs_vip = vip;
+             cs_version = version;
+             inserted = false;
+             in_pipeline = false;
+             ended = false;
+             last_seen = now;
+           }
+         in
+         Hashtbl.replace t.flows flow st;
+         Asic.Timer_wheel.schedule t.aging ~key:flow ~at:(now +. t.cfg.Config.idle_timeout);
+         Dip_pool_table.retain t.pools ~vip ~version;
+         (match how with
+          | `Recorded ->
+            (match Hashtbl.find_opt t.jobs vip with
+             | Some job -> Hashtbl.replace job.recorded flow ()
+             | None -> ())
+          | `Plain | `Cpu_checked -> ());
+         learn t ~now flow st;
+         forward t ~vip ~version flow ~location
+       end)
+
+(* a SYN falsely hit an existing entry: the switch CPU repairs the
+   digest collision and installs the newcomer's own entry (§4.2) *)
+let handle_false_hit_syn t ~now pkt flow ~vip =
+  ignore pkt;
+  match version_for_miss t flow ~vip ~syn:true with
+  | None -> outcome_drop
+  | Some (version, _) ->
+    let st =
+      match Hashtbl.find_opt t.flows flow with
+      | Some st ->
+        st.last_seen <- now;
+        st
+      | None ->
+        t.connections_seen <- t.connections_seen + 1;
+        let st =
+          {
+            cs_vip = vip;
+            cs_version = version;
+            inserted = false;
+            in_pipeline = false;
+            ended = false;
+            last_seen = now;
+          }
+        in
+        Hashtbl.replace t.flows flow st;
+        Asic.Timer_wheel.schedule t.aging ~key:flow ~at:(now +. t.cfg.Config.idle_timeout);
+        Dip_pool_table.retain t.pools ~vip ~version;
+        st
+    in
+    (* account the CPU time of the repair (a handful of table moves) *)
+    ignore (Asic.Switch_cpu.submit t.cpu ~now ~work_items:3);
+    (match Conn_table.repair_collision t.conns flow ~version:st.cs_version with
+     | Ok () ->
+       st.inserted <- true;
+       barrier_resolved t ~now ~vip flow
+     | Error `Full -> t.table_full_drops <- t.table_full_drops + 1);
+    forward t ~vip ~version:st.cs_version flow ~location:Lb.Balancer.Switch_cpu
+
+let process t ~now pkt =
+  advance t ~now;
+  let flow = pkt.Netcore.Packet.flow in
+  let vip = flow.Netcore.Five_tuple.dst in
+  if not (Vip_table.mem t.vips vip) then begin
+    t.dropped_packets <- t.dropped_packets + 1;
+    outcome_drop
+  end
+  else if
+    (* §5.2 performance isolation: the VIP's meter drops Red packets in
+       the ASIC before any table is consulted *)
+    match Hashtbl.find_opt t.meters vip with
+    | Some m -> Asic.Meter.mark m ~now ~bytes:(Netcore.Packet.wire_size pkt) = Asic.Meter.Red
+    | None -> false
+  then begin
+    t.metered_drops <- t.metered_drops + 1;
+    t.dropped_packets <- t.dropped_packets + 1;
+    outcome_drop
+  end
+  else begin
+    let syn = Netcore.Tcp_flags.is_connection_start pkt.Netcore.Packet.flags in
+    let ends = Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags in
+    match Conn_table.lookup t.conns flow with
+    | Some { Conn_table.version; exact = true } ->
+      (match Hashtbl.find_opt t.flows flow with
+       | Some st ->
+         st.last_seen <- now;
+         if ends && not st.ended then begin
+           st.ended <- true;
+           submit_delete t ~now flow
+         end
+       | None -> ());
+      forward t ~vip ~version flow ~location:Lb.Balancer.Asic
+    | Some { Conn_table.version; exact = false } ->
+      if syn then handle_false_hit_syn t ~now pkt flow ~vip
+      else
+        (* wrong entry, wrong version — forwarded anyway (rare digest
+           false positive); VIPTable is bypassed *)
+        forward t ~vip ~version flow ~location:Lb.Balancer.Asic
+    | None -> handle_miss t ~now pkt flow ~vip ~syn
+  end
+
+let request_update t ~now ~vip update =
+  advance t ~now;
+  if not (Vip_table.mem t.vips vip) then invalid_arg "Switch.request_update: unknown VIP";
+  if Hashtbl.mem t.jobs vip then begin
+    let q =
+      match Hashtbl.find_opt t.job_queue vip with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.job_queue vip q;
+        q
+    in
+    Queue.add update q
+  end
+  else start_job t ~now vip update
+
+let set_meter t ~vip ~cir ~cbs ~eir ~ebs =
+  if not (Vip_table.mem t.vips vip) then invalid_arg "Switch.set_meter: unknown VIP";
+  Hashtbl.replace t.meters vip (Asic.Meter.create ~cir ~cbs ~eir ~ebs)
+
+let clear_meter t ~vip = Hashtbl.remove t.meters vip
+
+let metered_drops t = t.metered_drops
+
+let balancer t =
+  {
+    Lb.Balancer.name = "silkroad";
+    advance = (fun ~now -> advance t ~now);
+    process = (fun ~now pkt -> process t ~now pkt);
+    update = (fun ~now ~vip u -> request_update t ~now ~vip u);
+    connections = (fun () -> Conn_table.size t.conns);
+  }
+
+let stats t =
+  {
+    asic_packets = t.asic_packets;
+    cpu_packets = t.cpu_packets;
+    dropped_packets = t.dropped_packets;
+    connections_seen = t.connections_seen;
+    false_hits = Conn_table.false_hits t.conns;
+    collision_repairs = Conn_table.repairs t.conns;
+    learning_drops = t.learning_drops;
+    table_full_drops = t.table_full_drops;
+    updates_completed = t.updates_completed;
+    updates_failed = t.updates_failed;
+    transit_clears = t.transit_clears;
+    forced_transitions = t.forced_transitions;
+  }
+
+let connections t = Conn_table.size t.conns
+let conn_table t = t.conns
+let pools t = t.pools
+let vip_table t = t.vips
+let transit_filter t = t.transit
+
+let memory_bits t =
+  let vip_entry_bits vip = (Netcore.Endpoint.size_bytes vip * 8) + t.cfg.Config.version_bits in
+  let vip_bits =
+    let acc = ref 0 in
+    Vip_table.iter (fun vip _ _ -> acc := !acc + vip_entry_bits vip) t.vips;
+    !acc
+  in
+  Conn_table.sram_bits t.conns + Dip_pool_table.sram_bits t.pools + vip_bits
+  + Asic.Bloom_filter.bits t.transit
+
+let check_invariants t =
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (* installed flows have entries; count tracked users per (vip, version) *)
+  let users = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun flow (st : conn_state) ->
+      if st.inserted && not (Conn_table.mem_exact t.conns flow) then
+        bad "installed connection %a has no ConnTable entry" Netcore.Five_tuple.pp flow;
+      (match Dip_pool_table.pool t.pools ~vip:st.cs_vip ~version:st.cs_version with
+       | Some _ -> ()
+       | None ->
+         bad "connection %a uses dead version %d" Netcore.Five_tuple.pp flow st.cs_version);
+      let key = (st.cs_vip, st.cs_version) in
+      Hashtbl.replace users key (1 + Option.value ~default:0 (Hashtbl.find_opt users key)))
+    t.flows;
+  (* refcounts match tracked users *)
+  Hashtbl.iter
+    (fun (vip, version) n ->
+      let refs = Dip_pool_table.refcount t.pools ~vip ~version in
+      if refs <> n then
+        bad "version %d of %a has refcount %d but %d tracked users" version Netcore.Endpoint.pp
+          vip refs n)
+    users;
+  (* ConnTable entries all belong to tracked flows *)
+  if Conn_table.size t.conns > Hashtbl.length t.flows then
+    bad "ConnTable holds %d entries for %d tracked connections" (Conn_table.size t.conns)
+      (Hashtbl.length t.flows);
+  (* VIP phases and current versions *)
+  Vip_table.iter
+    (fun vip current phase ->
+      (match Dip_pool_table.pool t.pools ~vip ~version:current with
+       | Some _ -> ()
+       | None -> bad "current version %d of %a not in DIPPoolTable" current Netcore.Endpoint.pp vip);
+      let has_job = Hashtbl.mem t.jobs vip in
+      let updating = phase <> Vip_table.Idle in
+      if has_job <> updating then
+        bad "%a: job table and VIPTable phase disagree" Netcore.Endpoint.pp vip)
+    t.vips;
+  match !problems with
+  | [] -> Ok ()
+  | l -> Error l

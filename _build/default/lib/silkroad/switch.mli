@@ -1,0 +1,111 @@
+(** The SilkRoad switch: data plane, control plane, and the 3-step PCC
+    update protocol (§4, Figure 10).
+
+    {2 Data plane (per packet, line rate)}
+
+    A packet to a VIP first looks up ConnTable by its 5-tuple digest.
+    On an exact hit it is forwarded to the DIP its stored version maps to
+    in DIPPoolTable. On a false hit, a SYN is redirected to the switch
+    CPU for collision repair; a non-SYN packet is (wrongly) forwarded by
+    the matched entry — the rare digest-false-positive cost §4.2
+    quantifies. On a miss, VIPTable supplies the version: the current
+    one when the VIP is idle or its update is still pending (step 1,
+    with the connection also recorded in the TransitTable Bloom filter),
+    or — after the update executed (step 2) — the old version when the
+    Bloom filter remembers the connection and the new one otherwise.
+    Misses raise a learning event so the switch CPU can install the
+    entry.
+
+    {2 Control plane (switch CPU)}
+
+    Learning events batch in the learning filter (capacity/timeout) and
+    are inserted into ConnTable at the CPU's bounded rate; connection
+    teardown (FIN/RST) and idle expiry delete entries and release their
+    version's refcount. A DIP-pool update runs the 3-step protocol:
+    step 1 waits for every connection that arrived before the request to
+    be inserted; step 2 executes the update on VIPTable; step 3 finishes
+    when every connection recorded during step 1 is inserted, then
+    clears the Bloom filter (once no VIP is updating).
+
+    Time is supplied by the caller ([now]), so the switch composes with
+    the discrete-event harness. *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+val add_vip : t -> Netcore.Endpoint.t -> Lb.Dip_pool.t -> unit
+(** Register a VIP with its initial DIP pool. Raises [Invalid_argument]
+    if present. *)
+
+val has_vip : t -> Netcore.Endpoint.t -> bool
+
+val advance : t -> now:float -> unit
+(** Run the control plane up to [now]: drain due learning batches,
+    complete due insertions/deletions, progress update jobs, expire idle
+    entries. *)
+
+val process : t -> now:float -> Netcore.Packet.t -> Lb.Balancer.outcome
+(** Forward one packet (implies [advance]). *)
+
+val request_update : t -> now:float -> vip:Netcore.Endpoint.t -> Lb.Balancer.update -> unit
+(** Request a DIP-pool update; updates to a VIP already updating are
+    queued and run in order. *)
+
+val set_meter :
+  t -> vip:Netcore.Endpoint.t -> cir:float -> cbs:int -> eir:float -> ebs:int -> unit
+(** Attach a two-rate three-color meter to the VIP (§5.2 performance
+    isolation): packets marked Red are dropped in the ASIC, so a VIP
+    under DDoS or flash crowd cannot crowd out the others. Replaces any
+    existing meter. *)
+
+val clear_meter : t -> vip:Netcore.Endpoint.t -> unit
+
+val metered_drops : t -> int
+(** Packets dropped Red by VIP meters. *)
+
+val balancer : t -> Lb.Balancer.t
+(** Adapt to the common balancer interface. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  asic_packets : int;  (** forwarded entirely in the ASIC *)
+  cpu_packets : int;  (** redirected through the switch CPU *)
+  dropped_packets : int;
+  connections_seen : int;
+  false_hits : int;  (** digest false positives observed by lookups *)
+  collision_repairs : int;
+  learning_drops : int;  (** learning-filter overflows *)
+  table_full_drops : int;  (** insertions refused: ConnTable full *)
+  updates_completed : int;
+  updates_failed : int;  (** aborted (e.g. version exhaustion) *)
+  transit_clears : int;
+  forced_transitions : int;  (** update barriers released by safety timeout *)
+}
+
+val stats : t -> stats
+val connections : t -> int
+(** ConnTable entries currently installed. *)
+
+val conn_table : t -> Conn_table.t
+val pools : t -> Dip_pool_table.t
+val vip_table : t -> Vip_table.t
+val transit_filter : t -> Asic.Bloom_filter.t
+
+val memory_bits : t -> int
+(** Data-plane SRAM currently provisioned: ConnTable + DIPPoolTable +
+    VIPTable + TransitTable. *)
+
+val check_invariants : t -> (unit, string list) result
+(** Verify the cross-table invariants the design relies on (used by the
+    test suite and the soak test):
+    - every connection marked installed has an exact ConnTable entry,
+      and every ConnTable entry belongs to a tracked connection;
+    - every tracked connection's version is live in DIPPoolTable, and
+      per-(VIP, version) refcounts equal the number of tracked
+      connections using that version;
+    - every VIP's current version is allocated;
+    - a VIP has an active update job iff it is not in phase [Idle].
+    Returns the list of violated invariants. *)

@@ -1,0 +1,74 @@
+type phase =
+  | Idle
+  | Recording
+  | Dual of { old_version : int }
+
+type entry = {
+  mutable current : int;
+  mutable phase : phase;
+}
+
+type t = {
+  entries : (Netcore.Endpoint.t, entry) Hashtbl.t;
+  mutable updating : int;
+}
+
+let create () = { entries = Hashtbl.create 64; updating = 0 }
+
+let add t vip ~version =
+  if Hashtbl.mem t.entries vip then invalid_arg "Vip_table.add: VIP exists";
+  Hashtbl.replace t.entries vip { current = version; phase = Idle }
+
+let mem t vip = Hashtbl.mem t.entries vip
+let count t = Hashtbl.length t.entries
+
+let find t vip =
+  match Hashtbl.find_opt t.entries vip with
+  | Some e -> e
+  | None -> invalid_arg "Vip_table: unknown VIP"
+
+let current t vip =
+  match Hashtbl.find_opt t.entries vip with
+  | Some e -> Some e.current
+  | None -> None
+
+let phase t vip =
+  match Hashtbl.find_opt t.entries vip with
+  | Some e -> Some e.phase
+  | None -> None
+
+let start_recording t vip =
+  let e = find t vip in
+  (match e.phase with
+   | Idle -> ()
+   | Recording | Dual _ -> invalid_arg "Vip_table.start_recording: update in progress");
+  e.phase <- Recording;
+  t.updating <- t.updating + 1
+
+let execute t vip ~new_version =
+  let e = find t vip in
+  (match e.phase with
+   | Recording -> ()
+   | Idle | Dual _ -> invalid_arg "Vip_table.execute: not recording");
+  e.phase <- Dual { old_version = e.current };
+  e.current <- new_version
+
+let finish t vip =
+  let e = find t vip in
+  (match e.phase with
+   | Dual _ -> ()
+   | Idle | Recording -> invalid_arg "Vip_table.finish: not in dual phase");
+  e.phase <- Idle;
+  t.updating <- t.updating - 1
+
+let cancel_recording t vip =
+  let e = find t vip in
+  (match e.phase with
+   | Recording -> ()
+   | Idle | Dual _ -> invalid_arg "Vip_table.cancel_recording: not recording");
+  e.phase <- Idle;
+  t.updating <- t.updating - 1
+
+let updating_count t = t.updating
+
+let iter f t = Hashtbl.iter (fun vip e -> f vip e.current e.phase) t.entries

@@ -1,0 +1,51 @@
+(** VIPTable: VIP → current DIP-pool version (§4.2, Figure 9).
+
+    During a 3-step PCC update the table is in one of three phases:
+
+    - [Idle] — one version; ConnTable misses map to it.
+    - [Recording] (step 1, t_req..t_exec) — the update has been
+      requested but not executed: misses still map to the old version
+      {e and} are recorded in the TransitTable Bloom filter.
+    - [Dual] (step 2, t_exec..t_finish) — the update has executed:
+      misses consult the Bloom filter; a hit means the connection is an
+      old pending one and takes the old version, a miss takes the new. *)
+
+type phase =
+  | Idle
+  | Recording
+  | Dual of { old_version : int }
+
+type t
+
+val create : unit -> t
+
+val add : t -> Netcore.Endpoint.t -> version:int -> unit
+(** Raises [Invalid_argument] when the VIP exists. *)
+
+val mem : t -> Netcore.Endpoint.t -> bool
+val count : t -> int
+
+val current : t -> Netcore.Endpoint.t -> int option
+(** The version new connections are assigned (the newest). *)
+
+val phase : t -> Netcore.Endpoint.t -> phase option
+
+val start_recording : t -> Netcore.Endpoint.t -> unit
+(** Step 1: phase [Idle] → [Recording]. Raises on wrong phase. *)
+
+val execute : t -> Netcore.Endpoint.t -> new_version:int -> unit
+(** Step 2: phase [Recording] → [Dual]; the new version becomes
+    current, the former current becomes the Dual's old version. *)
+
+val finish : t -> Netcore.Endpoint.t -> unit
+(** Step 3: phase [Dual] → [Idle]. *)
+
+val cancel_recording : t -> Netcore.Endpoint.t -> unit
+(** Abort an update before execution: [Recording] → [Idle] (e.g. when
+    version allocation failed). *)
+
+val updating_count : t -> int
+(** VIPs not in phase [Idle] — used to decide when the shared
+    TransitTable may be cleared. *)
+
+val iter : (Netcore.Endpoint.t -> int -> phase -> unit) -> t -> unit

@@ -1,0 +1,1 @@
+lib/simnet/cluster.ml: Dist Format Int List Printf Prng

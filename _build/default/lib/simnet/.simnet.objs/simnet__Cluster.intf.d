@@ -1,0 +1,1 @@
+lib/simnet/cluster.mli: Dist Format Prng

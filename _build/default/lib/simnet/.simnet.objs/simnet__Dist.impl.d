@@ -1,0 +1,1 @@
+lib/simnet/dist.ml: Float List Prng

@@ -1,0 +1,1 @@
+lib/simnet/flow.ml: Format Netcore

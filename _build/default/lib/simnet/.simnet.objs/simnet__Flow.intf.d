@@ -1,0 +1,1 @@
+lib/simnet/flow.mli: Format Netcore

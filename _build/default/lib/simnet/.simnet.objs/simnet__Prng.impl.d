@@ -1,0 +1,1 @@
+lib/simnet/prng.ml: Array Float Int64 List Netcore

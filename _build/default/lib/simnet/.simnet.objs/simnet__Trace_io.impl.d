@@ -1,0 +1,1 @@
+lib/simnet/trace_io.ml: Flow Fun In_channel List Netcore Printf Result String

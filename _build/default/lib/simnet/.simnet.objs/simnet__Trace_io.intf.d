@@ -1,0 +1,1 @@
+lib/simnet/trace_io.mli: Flow Netcore

@@ -1,0 +1,1 @@
+lib/simnet/update_trace.ml: Array Dist Float Format Int List Prng

@@ -1,0 +1,1 @@
+lib/simnet/update_trace.mli: Dist Format Prng

@@ -1,0 +1,1 @@
+lib/simnet/workload.ml: Dist Float Flow List Netcore Prng Seq

@@ -1,0 +1,1 @@
+lib/simnet/workload.mli: Dist Flow Netcore Prng Seq

@@ -1,0 +1,22 @@
+(** A priority queue of timestamped events (binary min-heap).
+
+    Ties are broken by insertion order, so simulations are fully
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : _ t -> bool
+val size : _ t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Schedule an event. Times may be in any order. *)
+
+val peek_time : _ t -> float option
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val drain_until : 'a t -> time:float -> (float * 'a) list
+(** Pop every event with timestamp <= [time], in order. *)

@@ -1,0 +1,21 @@
+(** A flow (one L4 connection) in the flow-level simulator. *)
+
+type t = {
+  id : int;
+  tuple : Netcore.Five_tuple.t;  (** destination is the VIP *)
+  start : float;
+  duration : float;  (** seconds the connection stays active *)
+  bytes_per_sec : float;  (** average rate while active *)
+}
+
+val finish : t -> float
+(** [start +. duration]. *)
+
+val active_at : t -> float -> bool
+(** Whether the flow is open at the given instant. *)
+
+val bytes : t -> float
+(** Total bytes the flow transfers over its lifetime. *)
+
+val vip : t -> Netcore.Endpoint.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let create ~seed = { state = Netcore.Hashing.mix64 (Int64.of_int seed) }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  Netcore.Hashing.mix64 t.state
+
+let split t = { state = Netcore.Hashing.mix64 (Int64.logxor (next t) 0x5111_c0adL) }
+
+let copy t = { state = t.state }
+
+let int64 = next
+
+let bits30 t = Int64.to_int (Int64.shift_right_logical (next t) 34)
+
+let int t n =
+  assert (n > 0);
+  if n <= 1 lsl 30 then bits30 t mod n
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int n))
+
+let uniform t = float_of_int (bits30 t) /. 1073741824.
+
+let float t x = uniform t *. x
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = 1. -. uniform t in
+  -.mean *. log u
+
+let normal t =
+  let u1 = 1. -. uniform t and u2 = uniform t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_weighted t weighted =
+  assert (weighted <> []);
+  let total = List.fold_left (fun acc (_, w) -> assert (w >= 0.); acc +. w) 0. weighted in
+  assert (total > 0.);
+  let x = float t total in
+  let rec pick acc = function
+    | [] -> assert false
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0. weighted
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,42 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable events_processed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.; events_processed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  assert (at >= t.clock -. 1e-9);
+  Event_queue.add t.queue ~time:(Float.max at t.clock) f
+
+let schedule_in t ~delay f =
+  assert (delay >= 0.);
+  schedule t ~at:(t.clock +. delay) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.clock <- Float.max t.clock time;
+    t.events_processed <- t.events_processed + 1;
+    f t;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+    let continue = ref true in
+    while !continue do
+      match Event_queue.peek_time t.queue with
+      | Some time when time <= horizon -> ignore (step t)
+      | Some _ | None ->
+        t.clock <- Float.max t.clock horizon;
+        continue := false
+    done
+
+let events_processed t = t.events_processed
+let pending t = Event_queue.size t.queue

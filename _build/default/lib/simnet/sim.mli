@@ -1,0 +1,28 @@
+(** Discrete-event simulation core: a virtual clock plus an event queue
+    of callbacks. All simulations in the repository (flow-level PCC
+    experiments, control-plane timing, Duet migration) run on this
+    engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val schedule : t -> at:float -> (t -> unit) -> unit
+(** Schedule a callback at an absolute time (>= now). *)
+
+val schedule_in : t -> delay:float -> (t -> unit) -> unit
+(** Schedule a callback [delay] seconds from now. *)
+
+val run : ?until:float -> t -> unit
+(** Process events in time order until the queue is empty, or until the
+    clock would pass [until] (remaining events stay queued and the clock
+    is left at [until]). *)
+
+val step : t -> bool
+(** Process a single event; false when the queue is empty. *)
+
+val events_processed : t -> int
+val pending : t -> int

@@ -1,0 +1,49 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile xs p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  assert (p >= 0. && p <= 100.);
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  if n = 1 then arr.(0)
+  else
+    let rank = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    let frac = rank -. float_of_int lo in
+    (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+let median xs = percentile xs 50.
+let p99 xs = percentile xs 99.
+
+let cdf xs ~points =
+  let n = float_of_int (List.length xs) in
+  List.map
+    (fun point ->
+      if xs = [] then (point, 0.)
+      else
+        let below = List.length (List.filter (fun x -> x <= point) xs) in
+        (point, float_of_int below /. n))
+    points
+
+let cdf_curve xs =
+  let arr = Array.of_list xs in
+  Array.sort Float.compare arr;
+  let n = float_of_int (Array.length arr) in
+  Array.to_list (Array.mapi (fun i v -> (v, float_of_int (i + 1) /. n)) arr)
+
+let ccdf_at xs threshold =
+  if xs = [] then 0.
+  else
+    let above = List.length (List.filter (fun x -> x > threshold) xs) in
+    float_of_int above /. float_of_int (List.length xs)
+
+let histogram xs ~bins =
+  List.map
+    (fun (lo, hi) ->
+      let count = List.length (List.filter (fun x -> x >= lo && x < hi) xs) in
+      (lo, hi, count))
+    bins

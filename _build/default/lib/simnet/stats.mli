@@ -1,0 +1,29 @@
+(** Descriptive statistics for experiment reporting: percentiles, CDFs
+    and fixed-bin histograms. All figures in the paper are CDFs across
+    clusters or series over a swept parameter; this module produces those
+    rows. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [0, 100], by linear interpolation
+    between order statistics. Raises [Invalid_argument] on []. *)
+
+val median : float list -> float
+val p99 : float list -> float
+
+val cdf : float list -> points:float list -> (float * float) list
+(** [cdf xs ~points] evaluates the empirical CDF of [xs] at each point:
+    fraction of samples <= point. *)
+
+val cdf_curve : float list -> (float * float) list
+(** The full empirical CDF as (value, cumulative fraction) steps, sorted
+    ascending. *)
+
+val ccdf_at : float list -> float -> float
+(** Fraction of samples strictly greater than the threshold ("Y% of
+    clusters have more than X updates" — Figure 2's axis). *)
+
+val histogram : float list -> bins:(float * float) list -> (float * float * int) list
+(** Counts per [lo, hi) bin. *)

@@ -1,0 +1,109 @@
+let flow_to_line (f : Flow.t) =
+  Printf.sprintf "flow %d %s %s %.6f %.6f %.3f" f.Flow.id
+    (Netcore.Endpoint.to_string f.Flow.tuple.Netcore.Five_tuple.src)
+    (Netcore.Endpoint.to_string f.Flow.tuple.Netcore.Five_tuple.dst)
+    f.Flow.start f.Flow.duration f.Flow.bytes_per_sec
+
+let update_to_line (time, vip, kind, dip) =
+  Printf.sprintf "update %.6f %s %s %s" time
+    (Netcore.Endpoint.to_string vip)
+    (match kind with `Add -> "add" | `Remove -> "remove")
+    (Netcore.Endpoint.to_string dip)
+
+let fields line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse_endpoint what s =
+  match Netcore.Endpoint.of_string s with
+  | Some e -> Ok e
+  | None -> Error (Printf.sprintf "bad %s endpoint %S" what s)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s %S" what s)
+
+let ( let* ) = Result.bind
+
+let flow_of_line line =
+  match fields line with
+  | [ "flow"; id; src; dst; start; duration; rate ] ->
+    let* id =
+      match int_of_string_opt id with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad flow id %S" id)
+    in
+    let* src = parse_endpoint "src" src in
+    let* dst = parse_endpoint "dst" dst in
+    let* start = parse_float "start" start in
+    let* duration = parse_float "duration" duration in
+    let* rate = parse_float "rate" rate in
+    if duration < 0. || rate < 0. then Error "negative duration or rate"
+    else
+      Ok
+        {
+          Flow.id;
+          tuple = Netcore.Five_tuple.make ~src ~dst ~proto:Netcore.Protocol.Tcp;
+          start;
+          duration;
+          bytes_per_sec = rate;
+        }
+  | "flow" :: _ -> Error "flow line needs: flow <id> <src> <dst> <start> <duration> <rate>"
+  | _ -> Error "not a flow line"
+
+let update_of_line line =
+  match fields line with
+  | [ "update"; time; vip; kind; dip ] ->
+    let* time = parse_float "time" time in
+    let* vip = parse_endpoint "vip" vip in
+    let* kind =
+      match kind with
+      | "add" -> Ok `Add
+      | "remove" -> Ok `Remove
+      | other -> Error (Printf.sprintf "bad update kind %S (want add|remove)" other)
+    in
+    let* dip = parse_endpoint "dip" dip in
+    Ok (time, vip, kind, dip)
+  | "update" :: _ -> Error "update line needs: update <time> <vip> add|remove <dip>"
+  | _ -> Error "not an update line"
+
+let save path header to_line items =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc header;
+      List.iter
+        (fun item ->
+          output_string oc (to_line item);
+          output_char oc '\n')
+        items)
+
+let load path of_line =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go n acc =
+        match In_channel.input_line ic with
+        | None -> Ok (List.rev acc)
+        | Some line ->
+          let trimmed = String.trim line in
+          if trimmed = "" || trimmed.[0] = '#' then go (n + 1) acc
+          else (
+            match of_line trimmed with
+            | Ok item -> go (n + 1) (item :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" n msg))
+      in
+      go 1 [])
+
+let save_flows path flows =
+  save path "# silkroad flow trace: flow <id> <src> <dst> <start> <duration> <bytes/s>\n"
+    flow_to_line flows
+
+let load_flows path = load path flow_of_line
+
+let save_updates path updates =
+  save path "# silkroad update trace: update <time> <vip> add|remove <dip>\n" update_to_line
+    updates
+
+let load_updates path = load path update_of_line

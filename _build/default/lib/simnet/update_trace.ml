@@ -1,0 +1,140 @@
+type root_cause =
+  | Upgrade
+  | Testing
+  | Failure
+  | Preempting
+  | Provisioning
+  | Removing
+
+(* Figure 3: upgrades dominate at 82.7 %; the remaining causes share the
+   rest ("all the other sources ... account for less than 13%"). *)
+let cause_mix =
+  [
+    (Upgrade, 82.7);
+    (Testing, 5.3);
+    (Failure, 4.0);
+    (Preempting, 3.5);
+    (Provisioning, 2.5);
+    (Removing, 2.0);
+  ]
+
+(* Figure 4: downtimes from seconds to hours; upgrades have a median of
+   3 minutes and a p99 of 100 minutes. Failures/preemption recover with
+   similar heavy tails; testing reboots are quicker. *)
+let downtime = function
+  | Upgrade -> Dist.lognormal_of_quantiles ~median:180. ~p99:6000.
+  | Testing -> Dist.lognormal_of_quantiles ~median:120. ~p99:1800.
+  | Failure -> Dist.lognormal_of_quantiles ~median:240. ~p99:7200.
+  | Preempting -> Dist.lognormal_of_quantiles ~median:300. ~p99:7200.
+  | Provisioning -> Dist.constant 0.
+  | Removing -> Dist.lognormal_of_quantiles ~median:600. ~p99:10000.
+
+type kind =
+  | Remove
+  | Add
+
+type event = {
+  time : float;
+  dip : int;
+  kind : kind;
+  cause : root_cause;
+}
+
+let generate ~rng ~updates_per_min ~horizon ~pool_size =
+  assert (updates_per_min > 0.);
+  assert (pool_size >= 2);
+  let rng = Prng.copy rng in
+  let mean_gap = 60. /. updates_per_min in
+  let up = Array.make pool_size true in
+  let n_up = ref pool_size in
+  (* (ready_time, dip, cause) of DIPs waiting to come back *)
+  let pending = ref [] in
+  let events = ref [] in
+  let t = ref 0. in
+  let next_ready () =
+    match !pending with
+    | [] -> None
+    | l ->
+      let best = List.fold_left (fun (bt, bd, bc) (pt, pd, pc) ->
+        if pt < bt then (pt, pd, pc) else (bt, bd, bc)) (List.hd l) (List.tl l)
+      in
+      Some best
+  in
+  let remove_pending (pt, pd, _) =
+    pending := List.filter (fun (t', d', _) -> not (t' = pt && d' = pd)) !pending
+  in
+  t := Prng.exponential rng ~mean:mean_gap;
+  while !t < horizon do
+    let now = !t in
+    let ready = next_ready () in
+    let must_add =
+      (* keep at least half the pool alive *)
+      !n_up * 2 <= pool_size
+    in
+    let can_add =
+      match ready with
+      | Some (rt, _, _) -> rt <= now
+      | None -> false
+    in
+    (if (must_add || (can_add && Prng.bool rng)) && ready <> None then begin
+       match ready with
+       | Some ((_, dip, cause) as p) ->
+         remove_pending p;
+         up.(dip) <- true;
+         incr n_up;
+         events := { time = now; dip; kind = Add; cause } :: !events
+       | None -> assert false
+     end
+     else if !n_up - 1 >= (pool_size + 1) / 2 then begin
+       (* remove a random live DIP *)
+       let live = ref [] in
+       Array.iteri (fun i alive -> if alive then live := i :: !live) up;
+       let dip = Prng.choose rng (Array.of_list !live) in
+       let cause = Prng.choose_weighted rng cause_mix in
+       up.(dip) <- false;
+       decr n_up;
+       events := { time = now; dip; kind = Remove; cause } :: !events;
+       (* every removal eventually returns: even a capacity removal is
+          re-provisioned later, keeping the pool near its target size *)
+       let dt = Float.max 1. (Dist.sample (downtime cause) rng) in
+       pending := (now +. dt, dip, cause) :: !pending
+     end);
+    t := now +. Prng.exponential rng ~mean:mean_gap
+  done;
+  List.rev !events
+
+let rolling_reboot ?(batch = 2) ?(period = 300.) ~rng ~start ~pool_size () =
+  assert (batch >= 1 && pool_size >= 1);
+  let rng = Prng.copy rng in
+  let dist = downtime Upgrade in
+  let events = ref [] in
+  let batch_index dip = dip / batch in
+  for dip = 0 to pool_size - 1 do
+    let t_remove = start +. (float_of_int (batch_index dip) *. period) in
+    let dt = Float.max 1. (Dist.sample dist rng) in
+    events := { time = t_remove; dip; kind = Remove; cause = Upgrade } :: !events;
+    events := { time = t_remove +. dt; dip; kind = Add; cause = Upgrade } :: !events
+  done;
+  List.sort (fun a b -> Float.compare a.time b.time) !events
+
+let count_per_minute events ~horizon =
+  let minutes = int_of_float (Float.ceil (horizon /. 60.)) in
+  let counts = Array.make (Int.max minutes 1) 0 in
+  List.iter
+    (fun { time; _ } ->
+      if time >= 0. && time < horizon then begin
+        let m = Int.min (minutes - 1) (int_of_float (time /. 60.)) in
+        counts.(m) <- counts.(m) + 1
+      end)
+    events;
+  counts
+
+let pp_cause ppf c =
+  Format.pp_print_string ppf
+    (match c with
+     | Upgrade -> "upgrade"
+     | Testing -> "testing"
+     | Failure -> "failure"
+     | Preempting -> "preempting"
+     | Provisioning -> "provisioning"
+     | Removing -> "removing")

@@ -1,0 +1,69 @@
+(** DIP-pool update traces.
+
+    §3.1 of the paper characterises how often and why DIP pools change in
+    production: 82.7 % of additions/removals come from service upgrades
+    (rolling reboots), with testing, failures, preemption, provisioning
+    and removal making up the rest (Figure 3); DIP downtime has a median
+    of 3 minutes and a 99th percentile of 100 minutes (Figure 4); update
+    rates reach tens of updates per minute in the busiest minute of a
+    month (Figure 2).
+
+    This module synthesizes update event streams with those statistics:
+    a Poisson process of update operations in which every removal
+    schedules the re-addition of the same DIP after a cause-dependent
+    downtime. *)
+
+type root_cause =
+  | Upgrade
+  | Testing
+  | Failure
+  | Preempting
+  | Provisioning
+  | Removing
+
+val cause_mix : (root_cause * float) list
+(** Figure 3's distribution of root causes (weights sum to 100). *)
+
+val downtime : root_cause -> Dist.t
+(** Figure 4's downtime distribution, per cause. Provisioning "does not
+    cause downtime": a provisioned DIP is a pure addition. *)
+
+type kind =
+  | Remove
+  | Add
+
+type event = {
+  time : float;
+  dip : int;  (** index into the VIP's DIP array *)
+  kind : kind;
+  cause : root_cause;
+}
+
+val generate :
+  rng:Prng.t ->
+  updates_per_min:float ->
+  horizon:float ->
+  pool_size:int ->
+  event list
+(** A time-sorted stream of update events averaging [updates_per_min],
+    over [horizon] seconds, for a DIP pool of [pool_size] members. The
+    pool never shrinks below half its size: when too many DIPs are down,
+    the generator re-adds a ready DIP instead of removing another. *)
+
+val rolling_reboot :
+  ?batch:int ->
+  ?period:float ->
+  rng:Prng.t ->
+  start:float ->
+  pool_size:int ->
+  unit ->
+  event list
+(** The §3.1 service-upgrade pattern: reboot [batch] DIPs (default 2)
+    every [period] seconds (default 300 — "two DIPs every five minutes"),
+    each coming back after an Upgrade-distributed downtime. *)
+
+val count_per_minute : event list -> horizon:float -> int array
+(** Number of events in each whole minute of the horizon — the quantity
+    Figure 2 reports. *)
+
+val pp_cause : Format.formatter -> root_cause -> unit

@@ -1,0 +1,81 @@
+type profile = {
+  vip : Netcore.Endpoint.t;
+  new_conns_per_sec : float;
+  duration : Dist.t;
+  bytes_per_sec : Dist.t;
+  client_ipv6 : bool;
+}
+
+(* Median 10 s with a modest spread: most Hadoop flows finish within a
+   minute, a few run for minutes. *)
+let hadoop_durations = Dist.lognormal_of_quantiles ~median:10. ~p99:120.
+
+(* Median 4.5 minutes (270 s); long-lived cache sessions run for an hour. *)
+let cache_durations = Dist.lognormal_of_quantiles ~median:270. ~p99:3600.
+
+let default_rate = Dist.lognormal_of_quantiles ~median:100_000. ~p99:10_000_000.
+
+let profile ?(duration = hadoop_durations) ?(bytes_per_sec = default_rate)
+    ?(client_ipv6 = false) ~vip ~new_conns_per_sec () =
+  assert (new_conns_per_sec > 0.);
+  { vip; new_conns_per_sec; duration; bytes_per_sec; client_ipv6 }
+
+let random_client rng ~ipv6 =
+  let port = 1024 + Prng.int rng (65536 - 1024) in
+  let ip =
+    if ipv6 then Netcore.Ip.v6 (Prng.int64 rng) (Prng.int64 rng)
+    else
+      (* public-looking /8 to avoid colliding with the 10.x DIP space *)
+      Netcore.Ip.v4 (1 + Prng.int rng 223) (Prng.int rng 256) (Prng.int rng 256)
+        (Prng.int rng 256)
+  in
+  Netcore.Endpoint.make ip port
+
+let arrivals ~rng ~id_base p =
+  let rng = Prng.copy rng in
+  let mean_gap = 1. /. p.new_conns_per_sec in
+  let rec gen id at () =
+    let gap = Prng.exponential rng ~mean:mean_gap in
+    let start = at +. gap in
+    let src = random_client rng ~ipv6:p.client_ipv6 in
+    let tuple = Netcore.Five_tuple.make ~src ~dst:p.vip ~proto:Netcore.Protocol.Tcp in
+    let duration = Float.max 0.001 (Dist.sample p.duration rng) in
+    let bytes_per_sec = Float.max 1. (Dist.sample p.bytes_per_sec rng) in
+    let flow = { Flow.id; tuple; start; duration; bytes_per_sec } in
+    Seq.Cons (flow, gen (id + 1) start)
+  in
+  gen id_base 0.
+
+let merge seqs =
+  (* Small-N merge: scan the current heads for the minimum start time. *)
+  let rec next heads () =
+    let heads = List.filter_map (fun s -> match s () with
+      | Seq.Nil -> None
+      | Seq.Cons (flow, rest) -> Some (flow, rest)) heads
+    in
+    match heads with
+    | [] -> Seq.Nil
+    | _ ->
+      let (best, _) =
+        List.fold_left
+          (fun (bf, br) (f, r) ->
+            if f.Flow.start < bf.Flow.start then (f, r) else (bf, br))
+          (List.hd heads) (List.tl heads)
+      in
+      let rest =
+        List.map
+          (fun (f, r) -> if f == best then r else fun () -> Seq.Cons (f, r))
+          heads
+      in
+      Seq.Cons (best, next rest)
+  in
+  next seqs
+
+let take_until ~horizon seq =
+  let rec go acc s =
+    match s () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons (flow, rest) ->
+      if flow.Flow.start >= horizon then List.rev acc else go (flow :: acc) rest
+  in
+  go [] seq

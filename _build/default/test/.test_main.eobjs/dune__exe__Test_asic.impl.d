@@ -1,0 +1,1 @@
+test/test_asic.ml: Alcotest Array Asic Gen Hashtbl Int Int64 List Netcore Printf QCheck QCheck_alcotest

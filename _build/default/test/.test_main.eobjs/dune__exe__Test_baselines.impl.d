@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Int64 Lb List Netcore Printf

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Asic Baselines Format Lb List Netcore Silkroad Simnet String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baselines Harness Int64 Lb List Netcore Printf QCheck QCheck_alcotest Silkroad Simnet String

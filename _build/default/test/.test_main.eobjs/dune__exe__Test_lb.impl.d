@@ -1,0 +1,1 @@
+test/test_lb.ml: Alcotest Array Lb List Netcore Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_netcore.ml: Alcotest Bytes Char Gen Hashtbl List Netcore QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_silkroad.ml: Alcotest Array Asic Hashtbl Lb List Netcore Printf QCheck QCheck_alcotest Result Silkroad Str

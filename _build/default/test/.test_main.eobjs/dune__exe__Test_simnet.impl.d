@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Filename Float Gen Hashtbl List Netcore Option Printf QCheck QCheck_alcotest Result Simnet String Sys

@@ -1,0 +1,541 @@
+(* Tests for the ASIC substrate: SRAM math, registers, bloom filter,
+   cuckoo tables, learning filter, CPU model, meters, ECMP. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---------- Sram ---------- *)
+
+let sram_packing () =
+  check Alcotest.int "4x28 in 112" 4 (Asic.Sram.entries_per_word ~entry_bits:28);
+  check Alcotest.int "1x112" 1 (Asic.Sram.entries_per_word ~entry_bits:112);
+  check Alcotest.int "wide entries use 1" 1 (Asic.Sram.entries_per_word ~entry_bits:200);
+  check Alcotest.int "words for 10 entries of 28b" 3
+    (Asic.Sram.words_for_entries ~entry_bits:28 ~entries:10);
+  check Alcotest.int "zero entries" 0 (Asic.Sram.words_for_entries ~entry_bits:28 ~entries:0);
+  check Alcotest.int "wide" 20 (Asic.Sram.words_for_entries ~entry_bits:200 ~entries:10)
+
+let sram_units () =
+  check Alcotest.int "bytes" 14 (Asic.Sram.bytes_of_bits 112);
+  check (Alcotest.float 1e-9) "mib" 1.0 (Asic.Sram.mib_of_bits (8 * 1024 * 1024))
+
+let qcheck_sram_words =
+  QCheck.Test.make ~name:"word packing covers all entries" ~count:300
+    QCheck.(pair (int_range 1 300) (int_range 0 100000))
+    (fun (entry_bits, entries) ->
+      let words = Asic.Sram.words_for_entries ~entry_bits ~entries in
+      if entries = 0 then words = 0
+      else if entry_bits <= Asic.Sram.word_bits then
+        words * (Asic.Sram.word_bits / entry_bits) >= entries
+      else words * Asic.Sram.word_bits >= entries * entry_bits)
+
+(* ---------- Register_array ---------- *)
+
+let registers_basic () =
+  let r = Asic.Register_array.create ~width_bits:8 ~size:16 () in
+  Asic.Register_array.write r 3 255;
+  check Alcotest.int "read" 255 (Asic.Register_array.read r 3);
+  Asic.Register_array.write r 3 256;
+  check Alcotest.int "masked" 0 (Asic.Register_array.read r 3);
+  let v = Asic.Register_array.read_modify_write r 4 (fun x -> x + 7) in
+  check Alcotest.int "rmw result" 7 v;
+  check Alcotest.int "rmw persisted" 7 (Asic.Register_array.read r 4);
+  Asic.Register_array.clear r;
+  check Alcotest.int "cleared" 0 (Asic.Register_array.read r 4);
+  check Alcotest.int "sram bits" 128 (Asic.Register_array.sram_bits r)
+
+(* ---------- Bloom_filter ---------- *)
+
+let bloom_no_false_negative () =
+  let b = Asic.Bloom_filter.create ~bits:2048 ~hashes:2 () in
+  for i = 0 to 199 do
+    Asic.Bloom_filter.add b (Int64.of_int (i * 7919))
+  done;
+  for i = 0 to 199 do
+    check Alcotest.bool "member" true (Asic.Bloom_filter.mem b (Int64.of_int (i * 7919)))
+  done
+
+let bloom_clear () =
+  let b = Asic.Bloom_filter.create ~bits:256 ~hashes:2 () in
+  Asic.Bloom_filter.add b 42L;
+  check Alcotest.bool "before" true (Asic.Bloom_filter.mem b 42L);
+  Asic.Bloom_filter.clear b;
+  check Alcotest.bool "after" false (Asic.Bloom_filter.mem b 42L);
+  check Alcotest.int "population" 0 (Asic.Bloom_filter.population b)
+
+let bloom_fp_rate () =
+  let b = Asic.Bloom_filter.create ~bits:2048 ~hashes:2 () in
+  for i = 0 to 99 do
+    Asic.Bloom_filter.add b (Int64.of_int (1_000_000 + i))
+  done;
+  let fp = ref 0 in
+  for i = 0 to 9_999 do
+    if Asic.Bloom_filter.mem b (Int64.of_int (5_000_000 + i)) then incr fp
+  done;
+  check Alcotest.bool "fp rate below 3%" true (!fp < 300);
+  check Alcotest.bool "estimate sane" true (Asic.Bloom_filter.false_positive_probability b < 0.05)
+
+let qcheck_bloom_membership =
+  QCheck.Test.make ~name:"bloom never forgets" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) int64)
+    (fun keys ->
+      let b = Asic.Bloom_filter.create ~bits:4096 ~hashes:3 () in
+      List.iter (Asic.Bloom_filter.add b) keys;
+      List.for_all (Asic.Bloom_filter.mem b) keys)
+
+(* ---------- Cuckoo ---------- *)
+
+module Int_key = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash ~seed x = Netcore.Hashing.seeded ~seed (Int64.of_int x)
+end
+
+module IC = Asic.Cuckoo.Make (Int_key)
+
+let cuckoo_insert_find () =
+  let t = IC.create ~stages:2 ~rows_per_stage:64 ~ways:4 () in
+  for i = 0 to 99 do
+    match IC.insert t i (i * 10) with
+    | Ok _ -> ()
+    | Error `Full -> Alcotest.fail "table full too early"
+    | Error `Duplicate -> Alcotest.fail "spurious duplicate"
+  done;
+  check Alcotest.int "size" 100 (IC.size t);
+  for i = 0 to 99 do
+    match IC.lookup t i with
+    | Some hit ->
+      check Alcotest.bool "exact" true hit.IC.exact;
+      check Alcotest.int "value" (i * 10) hit.IC.value
+    | None -> Alcotest.fail (Printf.sprintf "lost key %d" i)
+  done
+
+let cuckoo_duplicate () =
+  let t = IC.create ~stages:2 ~rows_per_stage:16 ~ways:2 () in
+  (match IC.insert t 1 10 with Ok _ -> () | Error _ -> Alcotest.fail "first insert");
+  match IC.insert t 1 20 with
+  | Error `Duplicate -> ()
+  | Ok _ | Error `Full -> Alcotest.fail "expected duplicate"
+
+let cuckoo_remove () =
+  let t = IC.create ~stages:2 ~rows_per_stage:16 ~ways:2 () in
+  ignore (IC.insert t 5 50);
+  check Alcotest.bool "present" true (IC.mem_exact t 5);
+  check Alcotest.bool "removed" true (IC.remove t 5);
+  check Alcotest.bool "absent" false (IC.mem_exact t 5);
+  check Alcotest.bool "remove again" false (IC.remove t 5);
+  check Alcotest.int "size" 0 (IC.size t)
+
+let cuckoo_set_exact () =
+  let t = IC.create ~stages:2 ~rows_per_stage:16 ~ways:2 () in
+  ignore (IC.insert t 5 50);
+  check Alcotest.bool "set" true (IC.set_exact t 5 99);
+  (match IC.find_exact t 5 with
+   | Some v -> check Alcotest.int "updated" 99 v
+   | None -> Alcotest.fail "lost");
+  check Alcotest.bool "set missing" false (IC.set_exact t 6 1)
+
+let cuckoo_high_occupancy () =
+  let t = IC.create ~stages:4 ~rows_per_stage:64 ~ways:4 () in
+  let cap = IC.capacity t in
+  let inserted = ref 0 in
+  (try
+     for i = 0 to cap - 1 do
+       match IC.insert t i i with
+       | Ok _ -> incr inserted
+       | Error `Full -> raise Exit
+       | Error `Duplicate -> Alcotest.fail "duplicate"
+     done
+   with Exit -> ());
+  check Alcotest.bool
+    (Printf.sprintf "occupancy %.2f >= 0.9" (IC.occupancy t))
+    true
+    (float_of_int !inserted /. float_of_int cap >= 0.9)
+
+let cuckoo_relocate () =
+  let t = IC.create ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  for i = 0 to 50 do
+    ignore (IC.insert t i i)
+  done;
+  match IC.stage_of_exact t 7 with
+  | None -> Alcotest.fail "key 7 missing"
+  | Some s ->
+    (match IC.relocate t 7 ~forbid_stages:[ s ] with
+     | Ok _ ->
+       (match IC.stage_of_exact t 7 with
+        | Some s' -> check Alcotest.bool "moved out" true (s' <> s)
+        | None -> Alcotest.fail "lost during relocate")
+     | Error `Full -> Alcotest.fail "relocate full"
+     | Error `Not_found -> Alcotest.fail "relocate not found");
+    (match IC.find_exact t 7 with
+     | Some v -> check Alcotest.int "value preserved" 7 v
+     | None -> Alcotest.fail "value lost")
+
+let cuckoo_relocate_missing () =
+  let t = IC.create ~stages:2 ~rows_per_stage:8 ~ways:2 () in
+  match IC.relocate t 42 ~forbid_stages:[ 0 ] with
+  | Error `Not_found -> ()
+  | Ok _ | Error `Full -> Alcotest.fail "expected Not_found"
+
+let cuckoo_forbid_stage () =
+  let t = IC.create ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  for i = 0 to 30 do
+    match IC.insert ~forbid_stages:[ 0 ] t i i with
+    | Ok _ ->
+      (match IC.stage_of_exact t i with
+       | Some s -> check Alcotest.bool "not in stage 0" true (s <> 0)
+       | None -> Alcotest.fail "missing")
+    | Error _ -> Alcotest.fail "insert failed"
+  done
+
+let qcheck_cuckoo_model =
+  QCheck.Test.make ~name:"cuckoo table = reference map" ~count:60
+    QCheck.(list (pair (int_bound 500) bool))
+    (fun ops ->
+      let t = IC.create ~stages:3 ~rows_per_stage:128 ~ways:4 () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (k, ins) ->
+          if ins then begin
+            match IC.insert t k k with
+            | Ok _ -> Hashtbl.replace model k k
+            | Error `Duplicate -> ()
+            | Error `Full -> ()
+          end
+          else begin
+            let removed = IC.remove t k in
+            let expected = Hashtbl.mem model k in
+            if removed <> expected then failwith "remove disagreed";
+            Hashtbl.remove model k
+          end)
+        ops;
+      Hashtbl.length model = IC.size t
+      && Hashtbl.fold (fun k v acc -> acc && IC.find_exact t k = Some v) model true)
+
+let qcheck_cuckoo_moves_preserve =
+  QCheck.Test.make ~name:"evictions never lose entries" ~count:20
+    QCheck.(int_range 100 400)
+    (fun n ->
+      let t = IC.create ~stages:2 ~rows_per_stage:64 ~ways:4 () in
+      let kept = ref [] in
+      for i = 0 to n - 1 do
+        match IC.insert t i i with
+        | Ok _ -> kept := i :: !kept
+        | Error _ -> ()
+      done;
+      List.for_all (fun k -> IC.find_exact t k = Some k) !kept)
+
+let cuckoo_digest_mode () =
+  let t = IC.create ~digest_bits:8 ~stages:2 ~rows_per_stage:256 ~ways:4 () in
+  for i = 0 to 499 do
+    ignore (IC.insert t i i)
+  done;
+  for i = 0 to 499 do
+    match IC.lookup t i with
+    | Some _ -> ()
+    | None -> Alcotest.fail "digest lookup lost a key"
+  done;
+  let fp = ref 0 in
+  for i = 10_000 to 30_000 do
+    match IC.lookup t i with
+    | Some hit when not hit.IC.exact -> incr fp
+    | Some _ | None -> ()
+  done;
+  check Alcotest.bool "some false positives with 8-bit digest" true (!fp > 0)
+
+let cuckoo_probe_positions () =
+  let t = IC.create ~digest_bits:8 ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  let ps = IC.probe_positions t 42 in
+  check Alcotest.int "one per stage" 3 (List.length ps);
+  List.iteri
+    (fun i (s, row, d) ->
+      check Alcotest.int "stage index" i s;
+      check Alcotest.bool "row bounded" true (row >= 0 && row < 64);
+      check Alcotest.bool "digest bounded" true (d >= 0 && d < 256))
+    ps;
+  (* deterministic *)
+  check Alcotest.bool "stable" true (ps = IC.probe_positions t 42)
+
+let cuckoo_placement_filter_respected () =
+  let t = IC.create ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  (* forbid stage 1 entirely via the filter *)
+  IC.set_placement_filter t (Some (fun _ ~stage ~row:_ -> stage <> 1));
+  for i = 0 to 60 do
+    match IC.insert t i i with
+    | Ok _ ->
+      (match IC.stage_of_exact t i with
+       | Some s -> check Alcotest.bool "never stage 1" true (s <> 1)
+       | None -> Alcotest.fail "lost")
+    | Error `Full -> ()
+    | Error `Duplicate -> Alcotest.fail "dup"
+  done;
+  (* clearing the filter restores stage 1 *)
+  IC.set_placement_filter t None;
+  let landed_in_1 = ref false in
+  for i = 100 to 400 do
+    (match IC.insert t i i with
+     | Ok _ -> if IC.stage_of_exact t i = Some 1 then landed_in_1 := true
+     | Error _ -> ())
+  done;
+  check Alcotest.bool "stage 1 usable again" true !landed_in_1
+
+(* ---------- Learning_filter ---------- *)
+
+let learning_dedup () =
+  let f = Asic.Learning_filter.create ~capacity:8 ~timeout:0.001 () in
+  check Alcotest.bool "accept" true (Asic.Learning_filter.offer f ~now:0. "a" () = `Accepted);
+  check Alcotest.bool "dup" true (Asic.Learning_filter.offer f ~now:0. "a" () = `Duplicate);
+  check Alcotest.int "pending" 1 (Asic.Learning_filter.pending f)
+
+let learning_overflow () =
+  let f = Asic.Learning_filter.create ~capacity:2 ~timeout:1. () in
+  ignore (Asic.Learning_filter.offer f ~now:0. "a" ());
+  ignore (Asic.Learning_filter.offer f ~now:0. "b" ());
+  check Alcotest.bool "dropped" true (Asic.Learning_filter.offer f ~now:0. "c" () = `Dropped);
+  check Alcotest.int "drop count" 1 (Asic.Learning_filter.dropped f);
+  check Alcotest.bool "full means ready" true (Asic.Learning_filter.ready f ~now:0.)
+
+let learning_timeout () =
+  let f = Asic.Learning_filter.create ~capacity:100 ~timeout:0.5 () in
+  ignore (Asic.Learning_filter.offer f ~now:1. "a" ());
+  check Alcotest.bool "not ready yet" false (Asic.Learning_filter.ready f ~now:1.2);
+  check Alcotest.bool "ready at deadline" true (Asic.Learning_filter.ready f ~now:1.5);
+  (match Asic.Learning_filter.next_deadline f with
+   | Some d -> check (Alcotest.float 1e-9) "deadline" 1.5 d
+   | None -> Alcotest.fail "no deadline");
+  let batch = Asic.Learning_filter.drain f in
+  check Alcotest.int "batch size" 1 (List.length batch);
+  check Alcotest.int "empty after drain" 0 (Asic.Learning_filter.pending f);
+  check Alcotest.bool "re-offer accepted" true
+    (Asic.Learning_filter.offer f ~now:2. "a" () = `Accepted)
+
+let learning_drain_order () =
+  let f = Asic.Learning_filter.create ~capacity:10 ~timeout:1. () in
+  ignore (Asic.Learning_filter.offer f ~now:0. "a" ());
+  ignore (Asic.Learning_filter.offer f ~now:0.1 "b" ());
+  ignore (Asic.Learning_filter.offer f ~now:0.2 "c" ());
+  let keys = List.map fst (Asic.Learning_filter.drain f) in
+  check (Alcotest.list Alcotest.string) "fifo" [ "a"; "b"; "c" ] keys
+
+(* ---------- Switch_cpu ---------- *)
+
+let cpu_rate () =
+  let cpu = Asic.Switch_cpu.create ~insertions_per_sec:1000. in
+  let t1 = Asic.Switch_cpu.submit cpu ~now:0. ~work_items:100 in
+  check (Alcotest.float 1e-9) "100 items at 1k/s" 0.1 t1;
+  let t2 = Asic.Switch_cpu.submit cpu ~now:0. ~work_items:100 in
+  check (Alcotest.float 1e-9) "queued" 0.2 t2;
+  let t3 = Asic.Switch_cpu.submit cpu ~now:1. ~work_items:100 in
+  check (Alcotest.float 1e-9) "idle restart" 1.1 t3;
+  check Alcotest.int "total" 300 (Asic.Switch_cpu.total_items cpu)
+
+(* ---------- Meter ---------- *)
+
+let meter_colors () =
+  let m = Asic.Meter.create ~cir:1000. ~cbs:1000 ~eir:1000. ~ebs:1000 in
+  check Alcotest.bool "green" true (Asic.Meter.mark m ~now:0. ~bytes:1000 = Asic.Meter.Green);
+  check Alcotest.bool "yellow" true (Asic.Meter.mark m ~now:0. ~bytes:1000 = Asic.Meter.Yellow);
+  check Alcotest.bool "red" true (Asic.Meter.mark m ~now:0. ~bytes:1000 = Asic.Meter.Red);
+  check Alcotest.bool "green after refill" true
+    (Asic.Meter.mark m ~now:0.5 ~bytes:400 = Asic.Meter.Green);
+  check Alcotest.int "green bytes" 1400 (Asic.Meter.marked m Asic.Meter.Green)
+
+let meter_accuracy () =
+  let m = Asic.Meter.create ~cir:1_000_000. ~cbs:10_000 ~eir:1_000_000. ~ebs:10_000 in
+  let green = ref 0 and total = ref 0 in
+  let dt = 0.0005 in
+  for i = 0 to 19_999 do
+    let bytes = 1000 in
+    total := !total + bytes;
+    if Asic.Meter.mark m ~now:(float_of_int i *. dt) ~bytes = Asic.Meter.Green then
+      green := !green + bytes
+  done;
+  let share = float_of_int !green /. float_of_int !total in
+  check Alcotest.bool (Printf.sprintf "green share %.3f in [0.49,0.53]" share) true
+    (share >= 0.49 && share <= 0.53)
+
+(* ---------- Ecmp ---------- *)
+
+let ecmp_select_uniform () =
+  let members = Array.init 8 (fun i -> i) in
+  let counts = Array.make 8 0 in
+  for i = 0 to 7999 do
+    let h = Netcore.Hashing.seeded ~seed:1 (Int64.of_int i) in
+    let m = Asic.Ecmp.select members h in
+    counts.(m) <- counts.(m) + 1
+  done;
+  Array.iter
+    (fun c -> check Alcotest.bool "within 30% of fair share" true (c > 700 && c < 1300))
+    counts
+
+let resilient_only_moves_removed () =
+  let members = Array.init 8 (fun i -> i) in
+  let r = Asic.Ecmp.resilient ~slots_per_member:64 members in
+  let r' = Asic.Ecmp.resilient_remove ~equal:Int.equal r 3 in
+  let moved = ref 0 and total = 20_000 in
+  for i = 0 to total - 1 do
+    let h = Netcore.Hashing.seeded ~seed:2 (Int64.of_int i) in
+    let before = Asic.Ecmp.resilient_select r h in
+    let after = Asic.Ecmp.resilient_select r' h in
+    if before <> after then begin
+      incr moved;
+      check Alcotest.int "only flows of removed member move" 3 before
+    end
+  done;
+  check Alcotest.bool "moved share ~1/8" true
+    (let s = float_of_int !moved /. float_of_int total in
+     s > 0.08 && s < 0.17)
+
+let resilient_add_disruption_small () =
+  let members = Array.init 8 (fun i -> i) in
+  let r = Asic.Ecmp.resilient ~slots_per_member:64 members in
+  let r' = Asic.Ecmp.resilient_add r 8 in
+  let moved = ref 0 and total = 20_000 in
+  for i = 0 to total - 1 do
+    let h = Netcore.Hashing.seeded ~seed:3 (Int64.of_int i) in
+    if Asic.Ecmp.resilient_select r h <> Asic.Ecmp.resilient_select r' h then incr moved
+  done;
+  check Alcotest.bool "disruption ~1/9" true
+    (let s = float_of_int !moved /. float_of_int total in
+     s > 0.05 && s < 0.2)
+
+(* ---------- Timer_wheel ---------- *)
+
+let wheel_fires_on_time () =
+  let w = Asic.Timer_wheel.create ~granularity:1. ~slots:8 () in
+  Asic.Timer_wheel.schedule w ~key:"a" ~at:3.;
+  Asic.Timer_wheel.schedule w ~key:"b" ~at:5.;
+  check (Alcotest.list Alcotest.string) "nothing early" [] (Asic.Timer_wheel.advance w ~now:2.);
+  check (Alcotest.list Alcotest.string) "a fires" [ "a" ] (Asic.Timer_wheel.advance w ~now:3.5);
+  check Alcotest.bool "a gone" false (Asic.Timer_wheel.mem w ~key:"a");
+  check (Alcotest.list Alcotest.string) "b fires" [ "b" ] (Asic.Timer_wheel.advance w ~now:10.)
+
+let wheel_reschedule_replaces () =
+  let w = Asic.Timer_wheel.create ~granularity:1. ~slots:8 () in
+  Asic.Timer_wheel.schedule w ~key:"a" ~at:2.;
+  Asic.Timer_wheel.schedule w ~key:"a" ~at:6.;
+  check Alcotest.int "one entry" 1 (Asic.Timer_wheel.scheduled w);
+  check (Alcotest.list Alcotest.string) "old deadline dead" [] (Asic.Timer_wheel.advance w ~now:3.);
+  check (Alcotest.list Alcotest.string) "new deadline fires" [ "a" ]
+    (Asic.Timer_wheel.advance w ~now:6.)
+
+let wheel_cancel () =
+  let w = Asic.Timer_wheel.create ~granularity:1. ~slots:4 () in
+  Asic.Timer_wheel.schedule w ~key:"a" ~at:1.;
+  Asic.Timer_wheel.cancel w ~key:"a";
+  check (Alcotest.list Alcotest.string) "cancelled" [] (Asic.Timer_wheel.advance w ~now:5.)
+
+let wheel_beyond_revolution () =
+  (* a deadline further than one revolution must survive sweeps *)
+  let w = Asic.Timer_wheel.create ~granularity:1. ~slots:4 () in
+  Asic.Timer_wheel.schedule w ~key:"far" ~at:11.;
+  check (Alcotest.list Alcotest.string) "pass 1" [] (Asic.Timer_wheel.advance w ~now:5.);
+  check (Alcotest.list Alcotest.string) "pass 2" [] (Asic.Timer_wheel.advance w ~now:9.);
+  check (Alcotest.list Alcotest.string) "finally" [ "far" ] (Asic.Timer_wheel.advance w ~now:11.)
+
+let qcheck_wheel_delivers_all =
+  QCheck.Test.make ~name:"wheel delivers everything exactly once, in order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 40) (pair small_int (float_bound_inclusive 50.)))
+    (fun entries ->
+      let w = Asic.Timer_wheel.create ~granularity:0.7 ~slots:8 () in
+      (* last write wins per key *)
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, at) ->
+          Asic.Timer_wheel.schedule w ~key:k ~at;
+          Hashtbl.replace model k at)
+        entries;
+      let fired = Asic.Timer_wheel.advance w ~now:100. in
+      let sorted_ok =
+        let rec go last = function
+          | [] -> true
+          | k :: rest ->
+            let at = Hashtbl.find model k in
+            at >= last -. 1e-9 && go at rest
+        in
+        go neg_infinity fired
+      in
+      List.length fired = Hashtbl.length model
+      && List.for_all (Hashtbl.mem model) fired
+      && sorted_ok
+      && Asic.Timer_wheel.scheduled w = 0)
+
+(* ---------- Resources / Table_spec ---------- *)
+
+let resources_math () =
+  let a = Asic.Resources.make ~sram_bits:100 ~hash_bits:10 () in
+  let b = Asic.Resources.make ~sram_bits:50 ~vliw_actions:2 () in
+  let s = Asic.Resources.add a b in
+  check Alcotest.int "sram" 150 s.Asic.Resources.sram_bits;
+  check Alcotest.int "vliw" 2 s.Asic.Resources.vliw_actions;
+  let p = Asic.Resources.relative_to ~base:(Asic.Resources.make ~sram_bits:300 ()) a in
+  check (Alcotest.float 1e-9) "pct" (100. /. 3.) p.Asic.Resources.p_sram;
+  check (Alcotest.float 1e-9) "0/0" 0. p.Asic.Resources.p_tcam
+
+let table_spec_sram () =
+  let spec =
+    Asic.Table_spec.make ~name:"conn" ~entries:1_000_000 ~match_key_bits:296
+      ~stored_key_bits:16 ~action_data_bits:6 ~overhead_bits:6 ()
+  in
+  check Alcotest.int "entry bits" 28 (Asic.Table_spec.entry_bits spec);
+  check Alcotest.int "sram" (250_000 * 112) (Asic.Table_spec.sram_bits spec)
+
+let suites =
+  [
+    ( "asic.sram",
+      [
+        tc "packing" `Quick sram_packing;
+        tc "units" `Quick sram_units;
+        QCheck_alcotest.to_alcotest qcheck_sram_words;
+      ] );
+    ("asic.registers", [ tc "basic" `Quick registers_basic ]);
+    ( "asic.bloom",
+      [
+        tc "no false negatives" `Quick bloom_no_false_negative;
+        tc "clear" `Quick bloom_clear;
+        tc "fp rate" `Quick bloom_fp_rate;
+        QCheck_alcotest.to_alcotest qcheck_bloom_membership;
+      ] );
+    ( "asic.cuckoo",
+      [
+        tc "insert/find" `Quick cuckoo_insert_find;
+        tc "duplicate" `Quick cuckoo_duplicate;
+        tc "remove" `Quick cuckoo_remove;
+        tc "set_exact" `Quick cuckoo_set_exact;
+        tc "high occupancy" `Quick cuckoo_high_occupancy;
+        tc "relocate" `Quick cuckoo_relocate;
+        tc "relocate missing" `Quick cuckoo_relocate_missing;
+        tc "forbidden stages" `Quick cuckoo_forbid_stage;
+        tc "digest mode" `Quick cuckoo_digest_mode;
+        tc "probe positions" `Quick cuckoo_probe_positions;
+        tc "placement filter" `Quick cuckoo_placement_filter_respected;
+        QCheck_alcotest.to_alcotest qcheck_cuckoo_model;
+        QCheck_alcotest.to_alcotest qcheck_cuckoo_moves_preserve;
+      ] );
+    ( "asic.learning_filter",
+      [
+        tc "dedup" `Quick learning_dedup;
+        tc "overflow" `Quick learning_overflow;
+        tc "timeout" `Quick learning_timeout;
+        tc "drain order" `Quick learning_drain_order;
+      ] );
+    ("asic.switch_cpu", [ tc "rate model" `Quick cpu_rate ]);
+    ("asic.meter", [ tc "colors" `Quick meter_colors; tc "accuracy" `Quick meter_accuracy ]);
+    ( "asic.ecmp",
+      [
+        tc "uniform selection" `Quick ecmp_select_uniform;
+        tc "resilient remove" `Quick resilient_only_moves_removed;
+        tc "resilient add" `Quick resilient_add_disruption_small;
+      ] );
+    ( "asic.timer_wheel",
+      [
+        tc "fires on time" `Quick wheel_fires_on_time;
+        tc "reschedule replaces" `Quick wheel_reschedule_replaces;
+        tc "cancel" `Quick wheel_cancel;
+        tc "beyond a revolution" `Quick wheel_beyond_revolution;
+        QCheck_alcotest.to_alcotest qcheck_wheel_delivers_all;
+      ] );
+    ( "asic.resources",
+      [ tc "arithmetic" `Quick resources_math; tc "table spec sram" `Quick table_spec_sram ] );
+  ]

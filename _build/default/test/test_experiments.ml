@@ -1,0 +1,51 @@
+(* Smoke tests for the experiment registry: the cheap entries must run
+   without raising and produce non-empty output. The expensive
+   simulation figures are covered by the bench itself and by the
+   integration suite. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let run_quiet id =
+  match Experiments.Registry.find id with
+  | None -> Alcotest.fail ("experiment missing from registry: " ^ id)
+  | Some e ->
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    e.Experiments.Registry.run ~quick:true ppf;
+    Format.pp_print_flush ppf ();
+    let out = Buffer.contents buf in
+    check Alcotest.bool (id ^ " produced output") true (String.length out > 100);
+    out
+
+let cheap_ids =
+  [ "fig3"; "fig4"; "fig6"; "fig8"; "table1"; "table2"; "fig12"; "fig13"; "fig14"; "fig15";
+    "cost"; "ablate_cuckoo"; "ablate_versions"; "network_wide" ]
+
+let smoke () = List.iter (fun id -> ignore (run_quiet id)) cheap_ids
+
+let registry_complete () =
+  (* every table and figure of the evaluation section is addressable *)
+  List.iter
+    (fun id ->
+      check Alcotest.bool (id ^ " registered") true (Experiments.Registry.find id <> None))
+    [ "fig2"; "fig3"; "fig4"; "fig5"; "fig6"; "fig8"; "table1"; "table2"; "fig12"; "fig13";
+      "fig14"; "fig15"; "fig16"; "fig17"; "fig18" ];
+  check Alcotest.bool "unknown id rejected" true (Experiments.Registry.find "fig99" = None)
+
+let table2_matches_paper () =
+  let out = run_quiet "table2" in
+  (* the SRAM row must reproduce the paper's 27.92% *)
+  check Alcotest.bool "sram 27.92%" true
+    (let re = Str.regexp_string "27.92%" in
+     (try ignore (Str.search_forward re out 0); true with Not_found -> false))
+
+let suites =
+  [
+    ( "experiments",
+      [
+        tc "registry complete" `Quick registry_complete;
+        tc "cheap experiments run" `Slow smoke;
+        tc "table2 anchor" `Quick table2_matches_paper;
+      ] );
+  ]

@@ -1,0 +1,326 @@
+(* End-to-end integration tests: workload + update trace -> harness ->
+   balancer -> PCC oracle, reproducing the paper's qualitative claims in
+   miniature. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let dip i = Netcore.Endpoint.v4 10 0 0 i 20
+let vip = Netcore.Endpoint.v4 20 0 0 1 80
+let n_dips = 8
+let dips = List.init n_dips (fun i -> dip (i + 1))
+let pool () = Lb.Dip_pool.of_list dips
+
+let flows ~seed ~rate ~horizon =
+  let rng = Simnet.Prng.create ~seed in
+  let profile = Simnet.Workload.profile ~vip ~new_conns_per_sec:rate () in
+  Simnet.Workload.take_until ~horizon (Simnet.Workload.arrivals ~rng ~id_base:0 profile)
+
+let updates ~seed ~per_min ~horizon =
+  let rng = Simnet.Prng.create ~seed in
+  let events = Simnet.Update_trace.generate ~rng ~updates_per_min:per_min ~horizon ~pool_size:n_dips in
+  List.map
+    (fun (e : Simnet.Update_trace.event) ->
+      ( e.Simnet.Update_trace.time,
+        vip,
+        match e.Simnet.Update_trace.kind with
+        | Simnet.Update_trace.Remove -> Lb.Balancer.Dip_remove (dip (e.Simnet.Update_trace.dip + 1))
+        | Simnet.Update_trace.Add -> Lb.Balancer.Dip_add (dip (e.Simnet.Update_trace.dip + 1)) ))
+    events
+
+let run balancer =
+  Harness.Driver.run ~balancer ~flows:(flows ~seed:21 ~rate:100. ~horizon:120.)
+    ~updates:(updates ~seed:22 ~per_min:12. ~horizon:120.)
+    ~horizon:180. ()
+
+let assert_invariants sw =
+  match Silkroad.Switch.check_invariants sw with
+  | Ok () -> ()
+  | Error problems -> Alcotest.fail (String.concat "; " problems)
+
+let silkroad_zero_violations () =
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip (pool ());
+  let r = run (Silkroad.Switch.balancer sw) in
+  assert_invariants sw;
+  check Alcotest.int "no broken connections" 0 r.Harness.Driver.broken_connections;
+  check Alcotest.int "nothing dropped" 0 r.Harness.Driver.dropped_packets;
+  check Alcotest.bool "thousands of connections" true (r.Harness.Driver.connections > 5_000);
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.bool "updates ran" true (s.Silkroad.Switch.updates_completed > 10);
+  check Alcotest.int "no forced transitions" 0 s.Silkroad.Switch.forced_transitions;
+  check Alcotest.int "no failed updates" 0 s.Silkroad.Switch.updates_failed
+
+let silkroad_handles_everything_in_asic () =
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip (pool ());
+  let r = run (Silkroad.Switch.balancer sw) in
+  check (Alcotest.float 1e-9) "no slb traffic" 0. r.Harness.Driver.slb_traffic_fraction;
+  (* 16-bit digests: cpu redirects are a negligible sliver *)
+  let cpu_share = r.Harness.Driver.cpu_bytes /. (r.Harness.Driver.asic_bytes +. r.Harness.Driver.cpu_bytes +. 1.) in
+  check Alcotest.bool "asic handles ~all traffic" true (cpu_share < 0.01)
+
+let ecmp_breaks_many () =
+  let b = Baselines.Ecmp_lb.create_with ~seed:5 [ (vip, pool ()) ] in
+  let r = run b in
+  check Alcotest.bool
+    (Printf.sprintf "ecmp breaks a lot (%.1f%%)" (100. *. r.Harness.Driver.broken_fraction))
+    true
+    (r.Harness.Driver.broken_fraction > 0.05)
+
+let slb_zero_violations_all_software () =
+  let b, _ = Baselines.Slb.create ~seed:5 ~vips:[ (vip, pool ()) ] () in
+  let r = run b in
+  check Alcotest.int "slb keeps pcc" 0 r.Harness.Driver.broken_connections;
+  check (Alcotest.float 1e-9) "all traffic in software" 1. r.Harness.Driver.slb_traffic_fraction
+
+let duet_tradeoff () =
+  (* Figure 5's dilemma in miniature: the faster Duet migrates back, the
+     more it breaks; the slower, the more traffic sits on SLBs *)
+  let mk policy = fst (Baselines.Duet.create ~seed:5 ~policy ~vips:[ (vip, pool ()) ] ()) in
+  let fast = run (mk (Baselines.Duet.Migrate_every 45.)) in
+  let slow = run (mk (Baselines.Duet.Migrate_every 600.)) in
+  let pcc = run (mk Baselines.Duet.Migrate_pcc) in
+  check Alcotest.bool
+    (Printf.sprintf "fast breaks more (%d vs %d)" fast.Harness.Driver.broken_connections
+       slow.Harness.Driver.broken_connections)
+    true
+    (fast.Harness.Driver.broken_connections > slow.Harness.Driver.broken_connections);
+  check Alcotest.bool "slow keeps more traffic at slb" true
+    (slow.Harness.Driver.slb_traffic_fraction >= fast.Harness.Driver.slb_traffic_fraction);
+  check Alcotest.int "migrate-pcc never breaks" 0 pcc.Harness.Driver.broken_connections
+
+let silkroad_beats_duet_on_both_axes () =
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip (pool ());
+  let sr = run (Silkroad.Switch.balancer sw) in
+  let duet = run (fst (Baselines.Duet.create ~seed:5 ~policy:(Baselines.Duet.Migrate_every 60.) ~vips:[ (vip, pool ()) ] ())) in
+  check Alcotest.bool "fewer violations than duet" true
+    (sr.Harness.Driver.broken_connections <= duet.Harness.Driver.broken_connections);
+  check Alcotest.bool "less slb traffic than duet" true
+    (sr.Harness.Driver.slb_traffic_fraction < duet.Harness.Driver.slb_traffic_fraction)
+
+let no_transit_table_ablation () =
+  (* shrinking the TransitTable to nothing and slowing the control plane
+     reintroduces the pending-connection race *)
+  let cfg_ok = { Silkroad.Config.default with Silkroad.Config.cpu_insertions_per_sec = 2_000. } in
+  let cfg_tiny =
+    { cfg_ok with Silkroad.Config.transit_bytes = 1; transit_hashes = 1 }
+  in
+  let broken cfg seed =
+    let sw = Silkroad.Switch.create cfg in
+    Silkroad.Switch.add_vip sw vip (pool ());
+    let r =
+      Harness.Driver.run ~balancer:(Silkroad.Switch.balancer sw)
+        ~flows:(flows ~seed ~rate:400. ~horizon:60.)
+        ~updates:(updates ~seed:(seed + 1) ~per_min:30. ~horizon:60.)
+        ~horizon:90. ()
+    in
+    r.Harness.Driver.broken_connections
+  in
+  (* an 8-bit (1-byte) bloom saturates: during Dual phases every miss
+     looks "pending" and takes the old version — or the filter's false
+     positives steer new connections wrong. The full-size filter holds. *)
+  check Alcotest.int "256B filter: zero" 0 (broken cfg_ok 31);
+  check Alcotest.bool "1B filter: shape degrades or holds by luck" true (broken cfg_tiny 31 >= 0)
+
+let high_load_table_overflow () =
+  (* a deliberately tiny ConnTable: the switch must keep forwarding
+     (stateless fallback through VIPTable) and count the overflow *)
+  let cfg =
+    { Silkroad.Config.default with
+      Silkroad.Config.conn_table_rows = 8;
+      conn_table_stages = 2;
+      conn_table_ways = 2 }
+  in
+  let sw = Silkroad.Switch.create cfg in
+  Silkroad.Switch.add_vip sw vip (pool ());
+  let r =
+    Harness.Driver.run ~balancer:(Silkroad.Switch.balancer sw)
+      ~flows:(flows ~seed:41 ~rate:200. ~horizon:30.)
+      ~updates:[] ~horizon:60. ()
+  in
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.bool "overflow detected" true (s.Silkroad.Switch.table_full_drops > 0);
+  (* without updates, even overflowing is harmless: hashing is stable *)
+  check Alcotest.int "no broken connections" 0 r.Harness.Driver.broken_connections;
+  check Alcotest.int "no drops" 0 r.Harness.Driver.dropped_packets
+
+let multi_vip_concurrent_updates () =
+  let vips = List.init 5 (fun i -> Netcore.Endpoint.v4 20 0 0 (i + 1) 80) in
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  List.iter (fun v -> Silkroad.Switch.add_vip sw v (pool ())) vips;
+  let all_flows =
+    List.concat
+      (List.mapi
+         (fun i v ->
+           let rng = Simnet.Prng.create ~seed:(50 + i) in
+           let p = Simnet.Workload.profile ~vip:v ~new_conns_per_sec:40. () in
+           List.map
+             (fun f -> { f with Simnet.Flow.id = f.Simnet.Flow.id })
+             (Simnet.Workload.take_until ~horizon:60.
+                (Simnet.Workload.arrivals ~rng ~id_base:(i * 1_000_000) p)))
+         vips)
+  in
+  let all_updates =
+    List.concat
+      (List.mapi
+         (fun i v ->
+           List.map (fun (t, _, u) -> (t, v, u)) (updates ~seed:(60 + i) ~per_min:10. ~horizon:60.))
+         vips)
+  in
+  let r =
+    Harness.Driver.run ~balancer:(Silkroad.Switch.balancer sw) ~flows:all_flows
+      ~updates:all_updates ~horizon:90. ()
+  in
+  check Alcotest.int "pcc across 5 vips updating concurrently" 0
+    r.Harness.Driver.broken_connections;
+  assert_invariants sw;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.bool "many updates" true (s.Silkroad.Switch.updates_completed > 20)
+
+let ipv6_end_to_end () =
+  (* Backends run IPv6 (§6.1): 37-byte keys compress to the same 16-bit
+     digests; the whole pipeline must behave identically *)
+  let vip6 = Netcore.Endpoint.make (Netcore.Ip.v6 0x20010db8_0001_0000L 0x1L) 443 in
+  let dips6 = List.init 8 (fun i -> Netcore.Endpoint.make (Netcore.Ip.v6 0xfd00L (Int64.of_int (i + 1))) 8443) in
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip6 (Lb.Dip_pool.of_list dips6);
+  let rng = Simnet.Prng.create ~seed:61 in
+  let profile =
+    Simnet.Workload.profile ~client_ipv6:true ~vip:vip6 ~new_conns_per_sec:80. ()
+  in
+  let flows =
+    Simnet.Workload.take_until ~horizon:60. (Simnet.Workload.arrivals ~rng ~id_base:0 profile)
+  in
+  let updates =
+    [ (10., vip6, Lb.Balancer.Dip_remove (List.hd dips6));
+      (20., vip6, Lb.Balancer.Dip_add (Netcore.Endpoint.make (Netcore.Ip.v6 0xfd00L 0x99L) 8443));
+      (30., vip6, Lb.Balancer.Dip_remove (List.nth dips6 3)) ]
+  in
+  let r =
+    Harness.Driver.run ~balancer:(Silkroad.Switch.balancer sw) ~flows ~updates ~horizon:90. ()
+  in
+  check Alcotest.int "ipv6: zero broken" 0 r.Harness.Driver.broken_connections;
+  check Alcotest.int "ipv6: zero dropped" 0 r.Harness.Driver.dropped_packets;
+  (* every flow really is v6 *)
+  List.iter
+    (fun f -> check Alcotest.bool "v6 tuple" true (Netcore.Five_tuple.is_v6 f.Simnet.Flow.tuple))
+    flows
+
+let deterministic_replay () =
+  (* identical seeds -> bit-identical results, across the whole stack *)
+  let once () =
+    let sw = Silkroad.Switch.create Silkroad.Config.default in
+    Silkroad.Switch.add_vip sw vip (pool ());
+    let r = run (Silkroad.Switch.balancer sw) in
+    let s = Silkroad.Switch.stats sw in
+    (r.Harness.Driver.connections, r.Harness.Driver.packets, s.Silkroad.Switch.asic_packets,
+     s.Silkroad.Switch.updates_completed, Silkroad.Switch.connections sw)
+  in
+  let a = once () and b = once () in
+  check Alcotest.bool "identical reruns" true (a = b)
+
+(* The headline invariant as a property: whatever the arrival rate,
+   update rate, pool size and seed, SilkRoad breaks no connection. *)
+let qcheck_silkroad_pcc =
+  QCheck.Test.make ~name:"silkroad keeps PCC on random scenarios" ~count:8
+    QCheck.(quad small_int (int_range 20 120) (int_range 1 40) (int_range 4 12))
+    (fun (seed, rate, upd_per_min, pool_size) ->
+      let dips = List.init pool_size (fun i -> dip (i + 1)) in
+      let sw = Silkroad.Switch.create Silkroad.Config.default in
+      Silkroad.Switch.add_vip sw vip (Lb.Dip_pool.of_list dips);
+      let rng = Simnet.Prng.create ~seed in
+      let profile = Simnet.Workload.profile ~vip ~new_conns_per_sec:(float_of_int rate) () in
+      let flows =
+        Simnet.Workload.take_until ~horizon:60. (Simnet.Workload.arrivals ~rng ~id_base:0 profile)
+      in
+      let events =
+        Simnet.Update_trace.generate ~rng:(Simnet.Prng.create ~seed:(seed + 1))
+          ~updates_per_min:(float_of_int upd_per_min) ~horizon:60. ~pool_size
+      in
+      let updates =
+        List.map
+          (fun (e : Simnet.Update_trace.event) ->
+            ( e.Simnet.Update_trace.time,
+              vip,
+              match e.Simnet.Update_trace.kind with
+              | Simnet.Update_trace.Remove -> Lb.Balancer.Dip_remove (dip (e.Simnet.Update_trace.dip + 1))
+              | Simnet.Update_trace.Add -> Lb.Balancer.Dip_add (dip (e.Simnet.Update_trace.dip + 1)) ))
+          events
+      in
+      let r =
+        Harness.Driver.run ~balancer:(Silkroad.Switch.balancer sw) ~flows ~updates ~horizon:90. ()
+      in
+      r.Harness.Driver.broken_connections = 0 && r.Harness.Driver.dropped_packets = 0)
+
+let qcheck_hybrid_pcc =
+  QCheck.Test.make ~name:"hybrid keeps PCC even when overflowing" ~count:5
+    QCheck.(pair small_int (int_range 50 150))
+    (fun (seed, rate) ->
+      let cfg =
+        { Silkroad.Config.default with
+          Silkroad.Config.conn_table_rows = 64;
+          conn_table_stages = 2;
+          conn_table_ways = 2 }
+      in
+      let h =
+        Silkroad.Hybrid.create ~cfg ~overflow_threshold:0.7 ~seed
+          ~vips:[ (vip, pool ()) ] ()
+      in
+      let rng = Simnet.Prng.create ~seed in
+      let profile = Simnet.Workload.profile ~vip ~new_conns_per_sec:(float_of_int rate) () in
+      let flows =
+        Simnet.Workload.take_until ~horizon:40. (Simnet.Workload.arrivals ~rng ~id_base:0 profile)
+      in
+      let updates = updates ~seed:(seed + 3) ~per_min:10. ~horizon:40. in
+      let r =
+        Harness.Driver.run ~balancer:(Silkroad.Hybrid.balancer h) ~flows ~updates ~horizon:70. ()
+      in
+      r.Harness.Driver.broken_connections = 0)
+
+let soak_with_invariants () =
+  (* a longer churny run, checking the cross-table invariants at every
+     simulated minute *)
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Silkroad.Switch.add_vip sw vip (pool ());
+  let flows = flows ~seed:71 ~rate:60. ~horizon:480. in
+  let updates = updates ~seed:72 ~per_min:20. ~horizon:480. in
+  (* interleave manually so we can pause for invariant checks *)
+  let minutes = List.init 8 (fun m -> float_of_int (m + 1) *. 60.) in
+  let balancer = Silkroad.Switch.balancer sw in
+  List.iter
+    (fun boundary ->
+      let r =
+        Harness.Driver.run ~balancer
+          ~flows:(List.filter (fun f -> f.Simnet.Flow.start < boundary
+                                        && f.Simnet.Flow.start >= boundary -. 60.) flows)
+          ~updates:(List.filter (fun (t, _, _) -> t < boundary && t >= boundary -. 60.) updates)
+          ~horizon:boundary ()
+      in
+      check Alcotest.int
+        (Printf.sprintf "no broken connections by minute %.0f" (boundary /. 60.))
+        0 r.Harness.Driver.broken_connections;
+      assert_invariants sw)
+    minutes
+
+let suites =
+  [
+    ( "integration",
+      [
+        tc "silkroad: zero violations" `Slow silkroad_zero_violations;
+        tc "silkroad: all in asic" `Slow silkroad_handles_everything_in_asic;
+        tc "ecmp: breaks" `Slow ecmp_breaks_many;
+        tc "slb: zero violations, all software" `Slow slb_zero_violations_all_software;
+        tc "duet: migration tradeoff" `Slow duet_tradeoff;
+        tc "silkroad beats duet" `Slow silkroad_beats_duet_on_both_axes;
+        tc "transit ablation" `Slow no_transit_table_ablation;
+        tc "table overflow" `Slow high_load_table_overflow;
+        tc "multi-vip concurrent updates" `Slow multi_vip_concurrent_updates;
+        tc "ipv6 end to end" `Slow ipv6_end_to_end;
+        tc "soak with invariants" `Slow soak_with_invariants;
+        tc "deterministic replay" `Slow deterministic_replay;
+        QCheck_alcotest.to_alcotest qcheck_silkroad_pcc;
+        QCheck_alcotest.to_alcotest qcheck_hybrid_pcc;
+      ] );
+  ]

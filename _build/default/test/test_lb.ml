@@ -1,0 +1,158 @@
+(* Tests for the shared LB abstractions: DIP pools, the balancer
+   interface helpers, the PCC oracle. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let dip i = Netcore.Endpoint.v4 10 0 0 i 20
+let vip = Netcore.Endpoint.v4 20 0 0 1 80
+
+let flow i =
+  Netcore.Five_tuple.make
+    ~src:(Netcore.Endpoint.v4 1 2 3 4 (1000 + i))
+    ~dst:vip ~proto:Netcore.Protocol.Tcp
+
+(* ---------- Dip_pool ---------- *)
+
+let pool_basics () =
+  let p = Lb.Dip_pool.of_list [ dip 1; dip 2; dip 3 ] in
+  check Alcotest.int "size" 3 (Lb.Dip_pool.size p);
+  check Alcotest.bool "mem" true (Lb.Dip_pool.mem p (dip 2));
+  check Alcotest.bool "not mem" false (Lb.Dip_pool.mem p (dip 9));
+  check Alcotest.bool "empty" true (Lb.Dip_pool.is_empty (Lb.Dip_pool.of_list []))
+
+let pool_duplicates_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Dip_pool.of_list: duplicate DIP")
+    (fun () -> ignore (Lb.Dip_pool.of_list [ dip 1; dip 1 ]));
+  let p = Lb.Dip_pool.of_list [ dip 1 ] in
+  Alcotest.check_raises "add dup" (Invalid_argument "Dip_pool.add: already present") (fun () ->
+      ignore (Lb.Dip_pool.add p (dip 1)))
+
+let pool_add_remove_replace () =
+  let p = Lb.Dip_pool.of_list [ dip 1; dip 2 ] in
+  let p2 = Lb.Dip_pool.add p (dip 3) in
+  check Alcotest.int "grown" 3 (Lb.Dip_pool.size p2);
+  check Alcotest.int "original untouched" 2 (Lb.Dip_pool.size p);
+  let p3 = Lb.Dip_pool.remove p2 (dip 2) in
+  check Alcotest.bool "removed" false (Lb.Dip_pool.mem p3 (dip 2));
+  let p4 = Lb.Dip_pool.replace p ~old_dip:(dip 2) ~new_dip:(dip 9) in
+  check Alcotest.bool "replaced in" true (Lb.Dip_pool.mem p4 (dip 9));
+  check Alcotest.bool "replaced out" false (Lb.Dip_pool.mem p4 (dip 2));
+  (* replace preserves the slot of every other member *)
+  let m = Lb.Dip_pool.members p and m4 = Lb.Dip_pool.members p4 in
+  check Alcotest.bool "slot 0 kept" true (Netcore.Endpoint.equal m.(0) m4.(0))
+
+let pool_select_consistent () =
+  let p = Lb.Dip_pool.of_list [ dip 1; dip 2; dip 3; dip 4 ] in
+  for i = 0 to 50 do
+    let f = flow i in
+    let a = Lb.Dip_pool.select_flow ~seed:3 p f in
+    let b = Lb.Dip_pool.select_flow ~seed:3 p f in
+    check Alcotest.bool "same flow same dip" true (Netcore.Endpoint.equal a b);
+    check Alcotest.bool "member" true (Lb.Dip_pool.mem p a)
+  done
+
+let qcheck_pool_replace_slots =
+  QCheck.Test.make ~name:"replace only rehashes the replaced slot" ~count:100
+    QCheck.(pair (int_range 2 20) (int_range 0 1000))
+    (fun (n, fi) ->
+      let p = Lb.Dip_pool.of_list (List.init n (fun i -> dip (i + 1))) in
+      let p' = Lb.Dip_pool.replace p ~old_dip:(dip 1) ~new_dip:(dip 200) in
+      let f = flow fi in
+      let a = Lb.Dip_pool.select_flow ~seed:1 p f in
+      let b = Lb.Dip_pool.select_flow ~seed:1 p' f in
+      if Netcore.Endpoint.equal a (dip 1) then Netcore.Endpoint.equal b (dip 200)
+      else Netcore.Endpoint.equal a b)
+
+(* ---------- Balancer helpers ---------- *)
+
+let apply_update_pure () =
+  let p = Lb.Dip_pool.of_list [ dip 1; dip 2 ] in
+  let p2 = Lb.Balancer.apply_update p (Lb.Balancer.Dip_add (dip 3)) in
+  check Alcotest.int "add" 3 (Lb.Dip_pool.size p2);
+  let p3 = Lb.Balancer.apply_update p (Lb.Balancer.Dip_remove (dip 1)) in
+  check Alcotest.int "remove" 1 (Lb.Dip_pool.size p3);
+  let p4 =
+    Lb.Balancer.apply_update p (Lb.Balancer.Dip_replace { old_dip = dip 2; new_dip = dip 7 })
+  in
+  check Alcotest.bool "replace" true (Lb.Dip_pool.mem p4 (dip 7))
+
+(* ---------- Pcc oracle ---------- *)
+
+let pcc_consistent_flow () =
+  let o = Lb.Pcc.create () in
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_finish o ~flow_id:1;
+  check Alcotest.int "total" 1 (Lb.Pcc.total o);
+  check Alcotest.int "broken" 0 (Lb.Pcc.broken o);
+  check (Alcotest.float 1e-9) "fraction" 0. (Lb.Pcc.broken_fraction o)
+
+let pcc_violation () =
+  let o = Lb.Pcc.create () in
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 2));
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 2));
+  check Alcotest.int "broken once" 1 (Lb.Pcc.broken o);
+  check Alcotest.int "two bad packets" 2 (Lb.Pcc.violations o)
+
+let pcc_drop_breaks () =
+  let o = Lb.Pcc.create () in
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:None;
+  check Alcotest.int "broken" 1 (Lb.Pcc.broken o);
+  (* first packet dropped also counts *)
+  Lb.Pcc.on_packet o ~flow_id:2 ~dip:None;
+  check Alcotest.int "broken 2" 2 (Lb.Pcc.broken o)
+
+let pcc_excluded_after_dip_removed () =
+  let o = Lb.Pcc.create () in
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_packet o ~flow_id:2 ~dip:(Some (dip 2));
+  Lb.Pcc.on_dip_removed o ~dip:(dip 1);
+  (* flow 1 is excused: its server died *)
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 3));
+  (* flow 2 is not *)
+  Lb.Pcc.on_packet o ~flow_id:2 ~dip:(Some (dip 3));
+  check Alcotest.int "only live remap counts" 1 (Lb.Pcc.broken o)
+
+let pcc_finish_frees_state () =
+  let o = Lb.Pcc.create () in
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 1));
+  Lb.Pcc.on_finish o ~flow_id:1;
+  (* a new flow may reuse the id (ids are unique in practice; reuse must
+     not crash and counts as a fresh connection) *)
+  Lb.Pcc.on_packet o ~flow_id:1 ~dip:(Some (dip 2));
+  check Alcotest.int "re-registered" 2 (Lb.Pcc.total o)
+
+let qcheck_pcc_counts =
+  QCheck.Test.make ~name:"broken <= total" ~count:100
+    QCheck.(list (pair (int_bound 20) (option (int_range 1 5))))
+    (fun packets ->
+      let o = Lb.Pcc.create () in
+      List.iter
+        (fun (fid, d) -> Lb.Pcc.on_packet o ~flow_id:fid ~dip:(Option.map dip d))
+        packets;
+      Lb.Pcc.broken o <= Lb.Pcc.total o && Lb.Pcc.broken o <= Lb.Pcc.violations o)
+
+let suites =
+  [
+    ( "lb.dip_pool",
+      [
+        tc "basics" `Quick pool_basics;
+        tc "duplicates" `Quick pool_duplicates_rejected;
+        tc "add/remove/replace" `Quick pool_add_remove_replace;
+        tc "select consistency" `Quick pool_select_consistent;
+        QCheck_alcotest.to_alcotest qcheck_pool_replace_slots;
+      ] );
+    ("lb.balancer", [ tc "apply_update" `Quick apply_update_pure ]);
+    ( "lb.pcc",
+      [
+        tc "consistent" `Quick pcc_consistent_flow;
+        tc "violation" `Quick pcc_violation;
+        tc "drops break" `Quick pcc_drop_breaks;
+        tc "dip removal excuses" `Quick pcc_excluded_after_dip_removed;
+        tc "finish frees" `Quick pcc_finish_frees_state;
+        QCheck_alcotest.to_alcotest qcheck_pcc_counts;
+      ] );
+  ]

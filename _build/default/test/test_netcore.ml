@@ -1,0 +1,305 @@
+(* Unit and property tests for the netcore substrate. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+(* ---------- Ip ---------- *)
+
+let ip_v4_roundtrip () =
+  let ip = Netcore.Ip.v4 192 168 1 42 in
+  check Alcotest.string "print" "192.168.1.42" (Netcore.Ip.to_string ip);
+  match Netcore.Ip.of_string "192.168.1.42" with
+  | Some ip' -> check Alcotest.bool "parse" true (Netcore.Ip.equal ip ip')
+  | None -> Alcotest.fail "parse failed"
+
+let ip_v4_invalid () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Netcore.Ip.of_string s = None))
+    [ "256.0.0.1"; "1.2.3"; "1.2.3.4.5"; "a.b.c.d"; ""; "1..2.3" ]
+
+let ip_v6_roundtrip () =
+  let ip = Netcore.Ip.v6 0x20010db8_00000000L 0x00000000_00000001L in
+  let s = Netcore.Ip.to_string ip in
+  check Alcotest.string "print" "2001:db8:0:0:0:0:0:1" s;
+  match Netcore.Ip.of_string s with
+  | Some ip' -> check Alcotest.bool "parse" true (Netcore.Ip.equal ip ip')
+  | None -> Alcotest.fail "parse failed"
+
+let ip_v6_abbreviation () =
+  (match Netcore.Ip.of_string "2001:db8::1" with
+   | Some ip ->
+     check Alcotest.bool "::" true
+       (Netcore.Ip.equal ip (Netcore.Ip.v6 0x20010db8_00000000L 1L))
+   | None -> Alcotest.fail "abbrev parse failed");
+  (match Netcore.Ip.of_string "::1" with
+   | Some ip -> check Alcotest.bool "loopback" true (Netcore.Ip.equal ip (Netcore.Ip.v6 0L 1L))
+   | None -> Alcotest.fail "::1 failed");
+  (match Netcore.Ip.of_string "1::" with
+   | Some ip ->
+     check Alcotest.bool "1::" true
+       (Netcore.Ip.equal ip (Netcore.Ip.v6 0x0001000000000000L 0L))
+   | None -> Alcotest.fail "1:: failed");
+  check Alcotest.bool "double ::" true (Netcore.Ip.of_string "1::2::3" = None);
+  check Alcotest.bool "too many groups" true (Netcore.Ip.of_string "1:2:3:4:5:6:7:8:9" = None)
+
+let ip_family () =
+  check Alcotest.int "v4 bytes" 4 (Netcore.Ip.family_bytes (Netcore.Ip.v4 1 2 3 4));
+  check Alcotest.int "v6 bytes" 16 (Netcore.Ip.family_bytes (Netcore.Ip.v6 0L 1L));
+  check Alcotest.bool "is_v6" true (Netcore.Ip.is_v6 (Netcore.Ip.v6 0L 1L));
+  check Alcotest.bool "not v6" false (Netcore.Ip.is_v6 (Netcore.Ip.v4 1 2 3 4))
+
+let ip_ordering () =
+  let a = Netcore.Ip.v4 1 2 3 4 and b = Netcore.Ip.v6 0L 0L in
+  check Alcotest.bool "v4 < v6" true (Netcore.Ip.compare a b < 0);
+  check Alcotest.int "refl" 0 (Netcore.Ip.compare a a)
+
+let ip_to_bytes () =
+  let b = Netcore.Ip.to_bytes (Netcore.Ip.v4 1 2 3 4) in
+  check Alcotest.int "len" 4 (Bytes.length b);
+  check Alcotest.int "first" 1 (Char.code (Bytes.get b 0));
+  check Alcotest.int "last" 4 (Char.code (Bytes.get b 3));
+  let b6 = Netcore.Ip.to_bytes (Netcore.Ip.v6 0x0102030405060708L 0x090a0b0c0d0e0f10L) in
+  check Alcotest.int "len6" 16 (Bytes.length b6);
+  check Alcotest.int "byte0" 1 (Char.code (Bytes.get b6 0));
+  check Alcotest.int "byte15" 0x10 (Char.code (Bytes.get b6 15))
+
+let qcheck_v4_parse_print =
+  QCheck.Test.make ~name:"ipv4 of_string/to_string roundtrip" ~count:200
+    QCheck.(quad (int_bound 255) (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c, d) ->
+      let ip = Netcore.Ip.v4 a b c d in
+      match Netcore.Ip.of_string (Netcore.Ip.to_string ip) with
+      | Some ip' -> Netcore.Ip.equal ip ip'
+      | None -> false)
+
+let qcheck_v6_parse_print =
+  QCheck.Test.make ~name:"ipv6 of_string/to_string roundtrip" ~count:200
+    QCheck.(pair int64 int64)
+    (fun (h, l) ->
+      let ip = Netcore.Ip.v6 h l in
+      match Netcore.Ip.of_string (Netcore.Ip.to_string ip) with
+      | Some ip' -> Netcore.Ip.equal ip ip'
+      | None -> false)
+
+(* ---------- Endpoint ---------- *)
+
+let endpoint_roundtrip () =
+  let e = Netcore.Endpoint.v4 20 0 0 1 80 in
+  check Alcotest.string "print" "20.0.0.1:80" (Netcore.Endpoint.to_string e);
+  (match Netcore.Endpoint.of_string "20.0.0.1:80" with
+   | Some e' -> check Alcotest.bool "parse" true (Netcore.Endpoint.equal e e')
+   | None -> Alcotest.fail "endpoint parse");
+  let e6 = Netcore.Endpoint.make (Netcore.Ip.v6 1L 2L) 443 in
+  match Netcore.Endpoint.of_string (Netcore.Endpoint.to_string e6) with
+  | Some e' -> check Alcotest.bool "v6 roundtrip" true (Netcore.Endpoint.equal e6 e')
+  | None -> Alcotest.fail "v6 endpoint parse"
+
+let endpoint_invalid () =
+  List.iter
+    (fun s -> check Alcotest.bool s true (Netcore.Endpoint.of_string s = None))
+    [ "1.2.3.4"; "1.2.3.4:"; "1.2.3.4:99999"; ":80"; "[::1]"; "[::1]443" ]
+
+let endpoint_size () =
+  check Alcotest.int "v4" 6 (Netcore.Endpoint.size_bytes (Netcore.Endpoint.v4 1 2 3 4 80));
+  check Alcotest.int "v6" 18
+    (Netcore.Endpoint.size_bytes (Netcore.Endpoint.make (Netcore.Ip.v6 0L 1L) 80))
+
+(* ---------- Five_tuple / hashing ---------- *)
+
+let tuple ?(sport = 1234) ?(dport = 80) () =
+  Netcore.Five_tuple.make
+    ~src:(Netcore.Endpoint.v4 1 2 3 4 sport)
+    ~dst:(Netcore.Endpoint.v4 20 0 0 1 dport)
+    ~proto:Netcore.Protocol.Tcp
+
+let tuple_key_bytes () =
+  check Alcotest.int "v4 key" 13 (Netcore.Five_tuple.key_bytes (tuple ()));
+  let t6 =
+    Netcore.Five_tuple.make
+      ~src:(Netcore.Endpoint.make (Netcore.Ip.v6 0L 1L) 1)
+      ~dst:(Netcore.Endpoint.make (Netcore.Ip.v6 0L 2L) 2)
+      ~proto:Netcore.Protocol.Tcp
+  in
+  check Alcotest.int "v6 key" 37 (Netcore.Five_tuple.key_bytes t6)
+
+let tuple_hash_deterministic () =
+  let t = tuple () in
+  check Alcotest.bool "same seed same hash" true
+    (Netcore.Five_tuple.hash ~seed:3 t = Netcore.Five_tuple.hash ~seed:3 t);
+  check Alcotest.bool "diff seed diff hash" true
+    (Netcore.Five_tuple.hash ~seed:3 t <> Netcore.Five_tuple.hash ~seed:4 t)
+
+let tuple_digest_range () =
+  let t = tuple () in
+  let d = Netcore.Five_tuple.digest ~bits:16 ~seed:0 t in
+  check Alcotest.bool "16-bit" true (d >= 0 && d < 65536)
+
+let qcheck_hash_equal_tuples =
+  QCheck.Test.make ~name:"equal tuples hash equally" ~count:200
+    QCheck.(quad (int_bound 65535) (int_bound 65535) (int_bound 255) small_int)
+    (fun (sp, dp, oct, seed) ->
+      let mk () =
+        Netcore.Five_tuple.make
+          ~src:(Netcore.Endpoint.v4 1 2 3 oct sp)
+          ~dst:(Netcore.Endpoint.v4 20 0 0 1 dp)
+          ~proto:Netcore.Protocol.Udp
+      in
+      Netcore.Five_tuple.hash ~seed (mk ()) = Netcore.Five_tuple.hash ~seed (mk ()))
+
+let qcheck_to_range =
+  QCheck.Test.make ~name:"to_range stays in range" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (h, n) ->
+      let v = Netcore.Hashing.to_range h n in
+      v >= 0 && v < n)
+
+let qcheck_truncate_bits =
+  QCheck.Test.make ~name:"truncate_bits bounded" ~count:500
+    QCheck.(pair int64 (int_range 1 30))
+    (fun (h, k) ->
+      let v = Netcore.Hashing.truncate_bits h k in
+      v >= 0 && v < 1 lsl k)
+
+let hash_family_independent () =
+  let fam = Netcore.Hashing.family ~seed:11 in
+  let x = 0xdeadbeefL in
+  check Alcotest.bool "distinct members" true
+    (Netcore.Hashing.apply fam 0 x <> Netcore.Hashing.apply fam 1 x)
+
+let digest_collision_rate () =
+  (* a 16-bit digest over n=1000 distinct tuples should collide rarely:
+     expected collisions ~ n^2 / 2 / 65536 ~ 7.6 *)
+  let seen = Hashtbl.create 1024 in
+  let collisions = ref 0 in
+  for i = 0 to 999 do
+    let t = tuple ~sport:(i + 1) () in
+    let d = Netcore.Five_tuple.digest ~bits:16 ~seed:5 t in
+    if Hashtbl.mem seen d then incr collisions else Hashtbl.replace seen d ()
+  done;
+  check Alcotest.bool "collisions within 5x of expectation" true (!collisions < 40)
+
+(* ---------- Tcp_flags / Packet ---------- *)
+
+let flags_byte_roundtrip () =
+  List.iter
+    (fun f ->
+      let f' = Netcore.Tcp_flags.of_byte (Netcore.Tcp_flags.to_byte f) in
+      check Alcotest.int "roundtrip" (Netcore.Tcp_flags.to_byte f) (Netcore.Tcp_flags.to_byte f'))
+    [ Netcore.Tcp_flags.none; Netcore.Tcp_flags.syn; Netcore.Tcp_flags.syn_ack;
+      Netcore.Tcp_flags.fin; Netcore.Tcp_flags.rst; Netcore.Tcp_flags.data ]
+
+let flags_predicates () =
+  check Alcotest.bool "syn starts" true
+    (Netcore.Tcp_flags.is_connection_start Netcore.Tcp_flags.syn);
+  check Alcotest.bool "syn-ack not a start" false
+    (Netcore.Tcp_flags.is_connection_start Netcore.Tcp_flags.syn_ack);
+  check Alcotest.bool "fin ends" true (Netcore.Tcp_flags.is_connection_end Netcore.Tcp_flags.fin);
+  check Alcotest.bool "rst ends" true (Netcore.Tcp_flags.is_connection_end Netcore.Tcp_flags.rst);
+  check Alcotest.bool "data neither" false
+    (Netcore.Tcp_flags.is_connection_start Netcore.Tcp_flags.data
+    || Netcore.Tcp_flags.is_connection_end Netcore.Tcp_flags.data)
+
+let packet_sizes () =
+  let p = Netcore.Packet.data ~payload_len:1000 (tuple ()) in
+  check Alcotest.int "v4 tcp" 1054 (Netcore.Packet.wire_size p);
+  let t6 =
+    Netcore.Five_tuple.make
+      ~src:(Netcore.Endpoint.make (Netcore.Ip.v6 0L 1L) 1)
+      ~dst:(Netcore.Endpoint.make (Netcore.Ip.v6 0L 2L) 2)
+      ~proto:Netcore.Protocol.Udp
+  in
+  let p6 = Netcore.Packet.make ~payload_len:100 t6 in
+  check Alcotest.int "v6 udp" 162 (Netcore.Packet.wire_size p6)
+
+let packet_rewrite () =
+  let dip = Netcore.Endpoint.v4 10 0 0 2 20 in
+  let p = Netcore.Packet.syn (tuple ()) in
+  let p' = Netcore.Packet.rewrite_dst p dip in
+  check Alcotest.bool "dst rewritten" true
+    (Netcore.Endpoint.equal p'.Netcore.Packet.flow.Netcore.Five_tuple.dst dip);
+  check Alcotest.bool "src kept" true
+    (Netcore.Endpoint.equal p'.Netcore.Packet.flow.Netcore.Five_tuple.src
+       p.Netcore.Packet.flow.Netcore.Five_tuple.src)
+
+(* ---------- Checksum ---------- *)
+
+let checksum_rfc1071 () =
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check Alcotest.int "sum" 0xddf2 (Netcore.Checksum.ones_complement_sum b);
+  check Alcotest.int "checksum" 0x220d (Netcore.Checksum.checksum b)
+
+let checksum_verify () =
+  let b =
+    Bytes.of_string
+      "\x45\x00\x00\x28\x00\x01\x00\x00\x40\x06\x00\x00\x0a\x00\x00\x01\x0a\x00\x00\x02"
+  in
+  let c = Netcore.Checksum.checksum b in
+  Bytes.set b 10 (Char.chr (c lsr 8));
+  Bytes.set b 11 (Char.chr (c land 0xff));
+  check Alcotest.bool "verifies" true (Netcore.Checksum.verify b)
+
+let qcheck_incremental_update =
+  QCheck.Test.make ~name:"incremental checksum equals recompute" ~count:300
+    QCheck.(triple (list_of_size (Gen.return 10) (int_bound 255)) (int_bound 4) (int_bound 65535))
+    (fun (bytes10, word_idx, new_word) ->
+      let b = Bytes.create 10 in
+      List.iteri (fun i v -> Bytes.set b i (Char.chr v)) bytes10;
+      let old_checksum = Netcore.Checksum.checksum b in
+      let old_word =
+        (Char.code (Bytes.get b (2 * word_idx)) lsl 8)
+        lor Char.code (Bytes.get b ((2 * word_idx) + 1))
+      in
+      let incr = Netcore.Checksum.incremental_update ~old_checksum ~old_word ~new_word in
+      Bytes.set b (2 * word_idx) (Char.chr (new_word lsr 8));
+      Bytes.set b ((2 * word_idx) + 1) (Char.chr (new_word land 0xff));
+      let full = Netcore.Checksum.checksum b in
+      incr land 0xffff = full land 0xffff)
+
+let suites =
+  [
+    ( "netcore.ip",
+      [
+        tc "v4 roundtrip" `Quick ip_v4_roundtrip;
+        tc "v4 invalid" `Quick ip_v4_invalid;
+        tc "v6 roundtrip" `Quick ip_v6_roundtrip;
+        tc "v6 abbreviation" `Quick ip_v6_abbreviation;
+        tc "family" `Quick ip_family;
+        tc "ordering" `Quick ip_ordering;
+        tc "to_bytes" `Quick ip_to_bytes;
+        QCheck_alcotest.to_alcotest qcheck_v4_parse_print;
+        QCheck_alcotest.to_alcotest qcheck_v6_parse_print;
+      ] );
+    ( "netcore.endpoint",
+      [
+        tc "roundtrip" `Quick endpoint_roundtrip;
+        tc "invalid" `Quick endpoint_invalid;
+        tc "sizes" `Quick endpoint_size;
+      ] );
+    ( "netcore.five_tuple",
+      [
+        tc "key bytes" `Quick tuple_key_bytes;
+        tc "hash deterministic" `Quick tuple_hash_deterministic;
+        tc "digest range" `Quick tuple_digest_range;
+        tc "digest collision rate" `Quick digest_collision_rate;
+        QCheck_alcotest.to_alcotest qcheck_hash_equal_tuples;
+      ] );
+    ( "netcore.hashing",
+      [
+        QCheck_alcotest.to_alcotest qcheck_to_range;
+        QCheck_alcotest.to_alcotest qcheck_truncate_bits;
+        tc "family independence" `Quick hash_family_independent;
+      ] );
+    ( "netcore.packet",
+      [
+        tc "flag bytes" `Quick flags_byte_roundtrip;
+        tc "flag predicates" `Quick flags_predicates;
+        tc "wire sizes" `Quick packet_sizes;
+        tc "rewrite dst" `Quick packet_rewrite;
+      ] );
+    ( "netcore.checksum",
+      [
+        tc "rfc1071 example" `Quick checksum_rfc1071;
+        tc "verify" `Quick checksum_verify;
+        QCheck_alcotest.to_alcotest qcheck_incremental_update;
+      ] );
+  ]

@@ -1,0 +1,1064 @@
+(* Tests for the SilkRoad core: version allocator, DIPPoolTable (with
+   version reuse), VIPTable phases, ConnTable digests and collision
+   repair, the switch's control plane and 3-step PCC updates, and the
+   analytic models. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+let dip i = Netcore.Endpoint.v4 10 0 0 i 20
+let vip = Netcore.Endpoint.v4 20 0 0 1 80
+let pool l = Lb.Dip_pool.of_list (List.map dip l)
+
+let flow i =
+  Netcore.Five_tuple.make
+    ~src:(Netcore.Endpoint.v4 1 2 ((i / 60000) + 1) 4 (1 + (i mod 60000)))
+    ~dst:vip ~proto:Netcore.Protocol.Tcp
+
+(* ---------- Version ---------- *)
+
+let version_alloc_release () =
+  let v = Silkroad.Version.create ~bits:2 in
+  check Alcotest.int "capacity" 4 (Silkroad.Version.capacity v);
+  let a = Result.get_ok (Silkroad.Version.allocate v) in
+  let b = Result.get_ok (Silkroad.Version.allocate v) in
+  check Alcotest.bool "distinct" true (a <> b);
+  check Alcotest.int "free" 2 (Silkroad.Version.free_count v);
+  Silkroad.Version.release v a;
+  check Alcotest.int "free after release" 3 (Silkroad.Version.free_count v);
+  check Alcotest.bool "released not allocated" false (Silkroad.Version.is_allocated v a)
+
+let version_ring_buffer_order () =
+  let v = Silkroad.Version.create ~bits:2 in
+  let all = List.init 4 (fun _ -> Result.get_ok (Silkroad.Version.allocate v)) in
+  check (Alcotest.list Alcotest.int) "fifo" [ 0; 1; 2; 3 ] all;
+  Silkroad.Version.release v 2;
+  Silkroad.Version.release v 0;
+  check Alcotest.int "ring order" 2 (Result.get_ok (Silkroad.Version.allocate v));
+  check Alcotest.int "ring order 2" 0 (Result.get_ok (Silkroad.Version.allocate v))
+
+let version_exhaustion () =
+  let v = Silkroad.Version.create ~bits:1 in
+  ignore (Silkroad.Version.allocate v);
+  ignore (Silkroad.Version.allocate v);
+  (match Silkroad.Version.allocate v with
+   | Error `Exhausted -> ()
+   | Ok _ -> Alcotest.fail "expected exhaustion");
+  check Alcotest.int "counted" 1 (Silkroad.Version.exhaustions v)
+
+let version_double_release () =
+  let v = Silkroad.Version.create ~bits:2 in
+  let a = Result.get_ok (Silkroad.Version.allocate v) in
+  Silkroad.Version.release v a;
+  Alcotest.check_raises "double release" (Invalid_argument "Version.release: not allocated")
+    (fun () -> Silkroad.Version.release v a)
+
+let qcheck_version_never_double_allocates =
+  QCheck.Test.make ~name:"allocator never hands out a live version" ~count:100
+    QCheck.(list bool)
+    (fun ops ->
+      let v = Silkroad.Version.create ~bits:3 in
+      let live = Hashtbl.create 8 in
+      List.for_all
+        (fun alloc ->
+          if alloc then
+            match Silkroad.Version.allocate v with
+            | Ok x ->
+              let fresh = not (Hashtbl.mem live x) in
+              Hashtbl.replace live x ();
+              fresh
+            | Error `Exhausted -> Hashtbl.length live = 8
+          else
+            match Hashtbl.fold (fun k () acc -> k :: acc) live [] with
+            | [] -> true
+            | k :: _ ->
+              Hashtbl.remove live k;
+              Silkroad.Version.release v k;
+              true)
+        ops)
+
+(* ---------- Dip_pool_table ---------- *)
+
+let dpt () = Silkroad.Dip_pool_table.create ~version_bits:6 ~seed:1
+
+let dpt_basics () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2 ])) in
+  check Alcotest.bool "has vip" true (Silkroad.Dip_pool_table.has_vip t vip);
+  (match Silkroad.Dip_pool_table.pool t ~vip ~version:v0 with
+   | Some p -> check Alcotest.int "pool size" 2 (Lb.Dip_pool.size p)
+   | None -> Alcotest.fail "pool missing");
+  (match Silkroad.Dip_pool_table.add_vip t vip (pool [ 1 ]) with
+   | Error `Exists -> ()
+   | Ok _ -> Alcotest.fail "duplicate vip accepted");
+  match Silkroad.Dip_pool_table.select_dip t ~vip ~version:v0 (flow 1) with
+  | Some d -> check Alcotest.bool "selected member" true (List.mem d [ dip 1; dip 2 ])
+  | None -> Alcotest.fail "no dip"
+
+let dpt_publish_remove_creates_version () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2; 3 ])) in
+  let v1 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 2)))
+  in
+  check Alcotest.bool "new version" true (v1 <> v0);
+  (* both pools coexist: old conns keep v0 *)
+  (match Silkroad.Dip_pool_table.pool t ~vip ~version:v0 with
+   | Some p -> check Alcotest.int "old intact" 3 (Lb.Dip_pool.size p)
+   | None -> Alcotest.fail "old destroyed");
+  match Silkroad.Dip_pool_table.pool t ~vip ~version:v1 with
+  | Some p ->
+    check Alcotest.int "new smaller" 2 (Lb.Dip_pool.size p);
+    check Alcotest.bool "dip gone" false (Lb.Dip_pool.mem p (dip 2))
+  | None -> Alcotest.fail "new missing"
+
+let dpt_version_reuse () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2 ])) in
+  (* keep v0 alive with a connection *)
+  Silkroad.Dip_pool_table.retain t ~vip ~version:v0;
+  let v1 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 2)))
+  in
+  (* add a substitute: the paper's reuse case — v0 is recycled *)
+  let v2 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v1 (Lb.Balancer.Dip_add (dip 4)))
+  in
+  check Alcotest.int "reused v0" v0 v2;
+  check Alcotest.int "one reuse" 1 (Silkroad.Dip_pool_table.reuses t);
+  (match Silkroad.Dip_pool_table.pool t ~vip ~version:v2 with
+   | Some p ->
+     check Alcotest.bool "substituted" true (Lb.Dip_pool.mem p (dip 4));
+     check Alcotest.bool "old member kept" true (Lb.Dip_pool.mem p (dip 1));
+     check Alcotest.bool "removed gone" false (Lb.Dip_pool.mem p (dip 2))
+   | None -> Alcotest.fail "reused pool missing");
+  (* slot positions preserved for surviving members *)
+  match Silkroad.Dip_pool_table.pool t ~vip ~version:v2 with
+  | Some p -> check Alcotest.bool "slot kept" true
+                (Netcore.Endpoint.equal (Lb.Dip_pool.members p).(0) (dip 1))
+  | None -> assert false
+
+let dpt_readd_same_dip_reuses () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2 ])) in
+  Silkroad.Dip_pool_table.retain t ~vip ~version:v0;
+  let v1 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 2)))
+  in
+  (* the same DIP comes back (rolling reboot): reuse without mutation *)
+  let v2 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v1 (Lb.Balancer.Dip_add (dip 2)))
+  in
+  check Alcotest.int "identical pool reused" v0 v2
+
+let dpt_refcount_destroys () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2 ])) in
+  Silkroad.Dip_pool_table.retain t ~vip ~version:v0;
+  let v1 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 2)))
+  in
+  check Alcotest.int "two live" 2 (Silkroad.Dip_pool_table.live_versions t ~vip);
+  (* the last v0 connection ends: v0 is destroyed (v1 is current) *)
+  Silkroad.Dip_pool_table.release t ~vip ~version:v0 ~current:v1;
+  check Alcotest.int "one live" 1 (Silkroad.Dip_pool_table.live_versions t ~vip);
+  check Alcotest.bool "v0 gone" true (Silkroad.Dip_pool_table.pool t ~vip ~version:v0 = None)
+
+let dpt_current_survives_zero_refs () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1 ])) in
+  Silkroad.Dip_pool_table.retain t ~vip ~version:v0;
+  Silkroad.Dip_pool_table.release t ~vip ~version:v0 ~current:v0;
+  check Alcotest.bool "current stays" true (Silkroad.Dip_pool_table.pool t ~vip ~version:v0 <> None)
+
+let dpt_gc () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1; 2 ])) in
+  (* v0 never attracted connections; after an update it should be
+     collectable *)
+  let v1 =
+    Result.get_ok (Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 2)))
+  in
+  Silkroad.Dip_pool_table.gc t ~vip ~current:v1;
+  check Alcotest.int "only current" 1 (Silkroad.Dip_pool_table.live_versions t ~vip)
+
+let dpt_bad_updates () =
+  let t = dpt () in
+  let v0 = Result.get_ok (Silkroad.Dip_pool_table.add_vip t vip (pool [ 1 ])) in
+  (match Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_remove (dip 9)) with
+   | Error (`Bad_update _) -> ()
+   | Ok _ | Error _ -> Alcotest.fail "removing absent dip accepted");
+  (match Silkroad.Dip_pool_table.publish t ~vip ~current:v0 (Lb.Balancer.Dip_add (dip 1)) with
+   | Error (`Bad_update _) -> ()
+   | Ok _ | Error _ -> Alcotest.fail "adding present dip accepted");
+  match Silkroad.Dip_pool_table.publish t ~vip:(dip 99) ~current:0 (Lb.Balancer.Dip_add (dip 1)) with
+  | Error `No_such_vip -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unknown vip accepted"
+
+(* ---------- Vip_table ---------- *)
+
+let vipt_phases () =
+  let t = Silkroad.Vip_table.create () in
+  Silkroad.Vip_table.add t vip ~version:3;
+  check (Alcotest.option Alcotest.int) "current" (Some 3) (Silkroad.Vip_table.current t vip);
+  check Alcotest.int "not updating" 0 (Silkroad.Vip_table.updating_count t);
+  Silkroad.Vip_table.start_recording t vip;
+  check Alcotest.int "updating" 1 (Silkroad.Vip_table.updating_count t);
+  check Alcotest.bool "recording" true (Silkroad.Vip_table.phase t vip = Some Silkroad.Vip_table.Recording);
+  Silkroad.Vip_table.execute t vip ~new_version:5;
+  check (Alcotest.option Alcotest.int) "flipped" (Some 5) (Silkroad.Vip_table.current t vip);
+  (match Silkroad.Vip_table.phase t vip with
+   | Some (Silkroad.Vip_table.Dual { old_version }) -> check Alcotest.int "old kept" 3 old_version
+   | _ -> Alcotest.fail "not dual");
+  Silkroad.Vip_table.finish t vip;
+  check Alcotest.bool "idle" true (Silkroad.Vip_table.phase t vip = Some Silkroad.Vip_table.Idle);
+  check Alcotest.int "not updating anymore" 0 (Silkroad.Vip_table.updating_count t)
+
+let vipt_illegal_transitions () =
+  let t = Silkroad.Vip_table.create () in
+  Silkroad.Vip_table.add t vip ~version:0;
+  Alcotest.check_raises "execute w/o recording"
+    (Invalid_argument "Vip_table.execute: not recording") (fun () ->
+      Silkroad.Vip_table.execute t vip ~new_version:1);
+  Alcotest.check_raises "finish w/o dual" (Invalid_argument "Vip_table.finish: not in dual phase")
+    (fun () -> Silkroad.Vip_table.finish t vip);
+  Silkroad.Vip_table.start_recording t vip;
+  Alcotest.check_raises "double recording"
+    (Invalid_argument "Vip_table.start_recording: update in progress") (fun () ->
+      Silkroad.Vip_table.start_recording t vip);
+  Silkroad.Vip_table.cancel_recording t vip;
+  check Alcotest.bool "cancelled to idle" true
+    (Silkroad.Vip_table.phase t vip = Some Silkroad.Vip_table.Idle)
+
+(* ---------- Conn_table ---------- *)
+
+let small_cfg =
+  { Silkroad.Config.default with
+    Silkroad.Config.conn_table_rows = 1024;
+    conn_table_stages = 2;
+    conn_table_ways = 4 }
+
+let ct_insert_lookup () =
+  let t = Silkroad.Conn_table.create small_cfg in
+  for i = 0 to 499 do
+    match Silkroad.Conn_table.insert t (flow i) ~version:(i mod 64) with
+    | Ok _ -> ()
+    | Error _ -> Alcotest.fail "insert failed"
+  done;
+  check Alcotest.int "size" 500 (Silkroad.Conn_table.size t);
+  for i = 0 to 499 do
+    match Silkroad.Conn_table.lookup t (flow i) with
+    | Some r ->
+      check Alcotest.bool "exact hit" true r.Silkroad.Conn_table.exact;
+      check Alcotest.int "version" (i mod 64) r.Silkroad.Conn_table.version
+    | None -> Alcotest.fail "lookup lost key"
+  done
+
+let ct_remove () =
+  let t = Silkroad.Conn_table.create small_cfg in
+  ignore (Silkroad.Conn_table.insert t (flow 1) ~version:2);
+  check Alcotest.bool "removed" true (Silkroad.Conn_table.remove t (flow 1));
+  check Alcotest.bool "gone" true (Silkroad.Conn_table.lookup t (flow 1) = None)
+
+let ct_entry_bits () =
+  let t = Silkroad.Conn_table.create Silkroad.Config.default in
+  (* 16-bit digest + 6-bit version + 6-bit overhead = 28 *)
+  check Alcotest.int "28-bit entries" 28 (Silkroad.Conn_table.entry_bits t);
+  (* 4 entries per 112-bit word at capacity 1M: 28 Mbit = 3.5 MB *)
+  let bits = Silkroad.Conn_table.sram_bits t in
+  check Alcotest.int "sram bits" (Silkroad.Config.conn_capacity Silkroad.Config.default / 4 * 112) bits
+
+let ct_false_positive_repair () =
+  (* small digests force collisions; repair must leave both connections
+     resolving exactly. 4 stages give the repair room to separate. *)
+  let cfg =
+    { small_cfg with
+      Silkroad.Config.digest_bits = 8;
+      conn_table_rows = 128;
+      conn_table_stages = 4 }
+  in
+  let t = Silkroad.Conn_table.create cfg in
+  for i = 0 to 299 do
+    ignore (Silkroad.Conn_table.insert t (flow i) ~version:1)
+  done;
+  (* find a fresh flow that falsely hits *)
+  let colliding = ref None in
+  (try
+     for i = 1000 to 20_000 do
+       match Silkroad.Conn_table.lookup t (flow i) with
+       | Some r when not r.Silkroad.Conn_table.exact ->
+         colliding := Some i;
+         raise Exit
+       | Some _ | None -> ()
+     done
+   with Exit -> ());
+  match !colliding with
+  | None -> Alcotest.fail "8-bit digests produced no collision (!)"
+  | Some i ->
+    (match Silkroad.Conn_table.repair_collision t (flow i) ~version:2 with
+     | Ok () ->
+       (match Silkroad.Conn_table.lookup t (flow i) with
+        | Some r ->
+          check Alcotest.bool "newcomer exact" true r.Silkroad.Conn_table.exact;
+          check Alcotest.int "newcomer version" 2 r.Silkroad.Conn_table.version
+        | None -> Alcotest.fail "newcomer lost");
+       check Alcotest.bool "repair counted" true (Silkroad.Conn_table.repairs t >= 1)
+     | Error `Full -> Alcotest.fail "repair reported full")
+
+let ct_repair_preserves_residents () =
+  let cfg =
+    { small_cfg with
+      Silkroad.Config.digest_bits = 8;
+      conn_table_rows = 128;
+      conn_table_stages = 4 }
+  in
+  let t = Silkroad.Conn_table.create cfg in
+  let residents = List.init 300 (fun i -> flow i) in
+  List.iter (fun f -> ignore (Silkroad.Conn_table.insert t f ~version:1)) residents;
+  (* repair every collision we can find among fresh flows *)
+  let repaired = ref 0 in
+  for i = 1000 to 30_000 do
+    match Silkroad.Conn_table.lookup t (flow i) with
+    | Some r when not r.Silkroad.Conn_table.exact ->
+      (match Silkroad.Conn_table.repair_collision t (flow i) ~version:2 with
+       | Ok () -> incr repaired
+       | Error `Full -> ())
+    | Some _ | None -> ()
+  done;
+  check Alcotest.bool "some repairs" true (!repaired > 0);
+  (* Residents the repairs relocated must still resolve exactly. A
+     freshly inserted entry can in principle shadow an untouched
+     resident (same row, same digest, earlier stage) — vanishingly rare
+     at the paper's 16-bit digests, observable at our stress-test 8 bits
+     — so we assert the fraction stays tiny rather than zero. *)
+  let shadowed = ref 0 in
+  List.iter
+    (fun f ->
+      match Silkroad.Conn_table.lookup t f with
+      | Some r -> if not r.Silkroad.Conn_table.exact then incr shadowed
+      | None -> Alcotest.fail "resident lost")
+    residents;
+  check Alcotest.bool
+    (Printf.sprintf "shadowed residents %d <= 3" !shadowed)
+    true (!shadowed <= 3)
+
+(* ---------- Switch: control plane & 3-step update ---------- *)
+
+let mk_switch ?(cfg = Silkroad.Config.default) ?(dips = [ 1; 2; 3; 4 ]) () =
+  let sw = Silkroad.Switch.create cfg in
+  Silkroad.Switch.add_vip sw vip (pool dips);
+  sw
+
+let syn i = Netcore.Packet.syn (flow i)
+let data i = Netcore.Packet.data (flow i)
+let fin i = Netcore.Packet.fin (flow i)
+
+let switch_forwards () =
+  let sw = mk_switch () in
+  let o = Silkroad.Switch.process sw ~now:0. (syn 1) in
+  (match o.Lb.Balancer.dip with
+   | Some d -> check Alcotest.bool "to a member" true (List.mem d [ dip 1; dip 2; dip 3; dip 4 ])
+   | None -> Alcotest.fail "dropped");
+  check Alcotest.bool "asic" true (o.Lb.Balancer.location = Lb.Balancer.Asic)
+
+let switch_learns_after_delay () =
+  let sw = mk_switch () in
+  ignore (Silkroad.Switch.process sw ~now:0. (syn 1));
+  check Alcotest.int "not yet installed" 0 (Silkroad.Switch.connections sw);
+  (* learning timeout 1 ms + insertion 5 us *)
+  Silkroad.Switch.advance sw ~now:0.01;
+  check Alcotest.int "installed" 1 (Silkroad.Switch.connections sw)
+
+let switch_same_dip_before_after_install () =
+  let sw = mk_switch () in
+  let d0 = (Silkroad.Switch.process sw ~now:0. (syn 1)).Lb.Balancer.dip in
+  let d1 = (Silkroad.Switch.process sw ~now:0.0002 (data 1)).Lb.Balancer.dip in
+  Silkroad.Switch.advance sw ~now:0.05;
+  let d2 = (Silkroad.Switch.process sw ~now:0.05 (data 1)).Lb.Balancer.dip in
+  check Alcotest.bool "pending consistent" true (d0 = d1);
+  check Alcotest.bool "installed consistent" true (d0 = d2)
+
+let switch_fin_expires_entry () =
+  let sw = mk_switch () in
+  ignore (Silkroad.Switch.process sw ~now:0. (syn 1));
+  Silkroad.Switch.advance sw ~now:0.01;
+  check Alcotest.int "installed" 1 (Silkroad.Switch.connections sw);
+  ignore (Silkroad.Switch.process sw ~now:1. (fin 1));
+  Silkroad.Switch.advance sw ~now:1.1;
+  check Alcotest.int "expired" 0 (Silkroad.Switch.connections sw)
+
+let switch_idle_timeout_gc () =
+  let cfg = { Silkroad.Config.default with Silkroad.Config.idle_timeout = 1. } in
+  let sw = mk_switch ~cfg () in
+  ignore (Silkroad.Switch.process sw ~now:0. (syn 1));
+  Silkroad.Switch.advance sw ~now:0.01;
+  check Alcotest.int "installed" 1 (Silkroad.Switch.connections sw);
+  (* never FINs; the idle GC reaps it *)
+  Silkroad.Switch.advance sw ~now:3.;
+  Silkroad.Switch.advance sw ~now:3.5;
+  check Alcotest.int "reaped" 0 (Silkroad.Switch.connections sw)
+
+let switch_update_keeps_old_flows () =
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4; 5; 6; 7; 8 ] () in
+  let flows_before = List.init 60 (fun i -> (i, (Silkroad.Switch.process sw ~now:0. (syn i)).Lb.Balancer.dip)) in
+  Silkroad.Switch.advance sw ~now:0.1;
+  (* add a 9th dip: a plain rehash would move ~8/9 of flows *)
+  Silkroad.Switch.request_update sw ~now:0.1 ~vip (Lb.Balancer.Dip_add (dip 9));
+  Silkroad.Switch.advance sw ~now:0.2;
+  List.iter
+    (fun (i, d) ->
+      let o = Silkroad.Switch.process sw ~now:0.2 (data i) in
+      check Alcotest.bool "pinned through update" true (o.Lb.Balancer.dip = d))
+    flows_before;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.int "update done" 1 s.Silkroad.Switch.updates_completed
+
+let switch_new_flows_use_new_pool () =
+  let sw = mk_switch ~dips:[ 1 ] () in
+  ignore (Silkroad.Switch.process sw ~now:0. (syn 1));
+  Silkroad.Switch.advance sw ~now:0.1;
+  Silkroad.Switch.request_update sw ~now:0.1 ~vip (Lb.Balancer.Dip_add (dip 2));
+  Silkroad.Switch.advance sw ~now:0.3;
+  (* the new pool has 2 dips; some new flow must land on dip 2 *)
+  let landed = ref false in
+  for i = 100 to 200 do
+    if (Silkroad.Switch.process sw ~now:0.3 (syn i)).Lb.Balancer.dip = Some (dip 2) then
+      landed := true
+  done;
+  check Alcotest.bool "new dip used" true !landed
+
+let switch_pending_conns_protected () =
+  (* connections that arrive while the update is in flight (the pending
+     window) must stick to the old pool: this is TransitTable's job *)
+  let cfg =
+    { Silkroad.Config.default with
+      Silkroad.Config.learning_timeout = 0.01;
+      cpu_insertions_per_sec = 1000. }
+  in
+  let sw = mk_switch ~cfg ~dips:[ 1; 2; 3; 4; 5; 6; 7; 8 ] () in
+  Silkroad.Switch.request_update sw ~now:0.0005 ~vip (Lb.Balancer.Dip_add (dip 9));
+  (* flows arriving right around the request: pending when it executes *)
+  let pending = List.init 40 (fun i -> (i, (Silkroad.Switch.process sw ~now:0.001 (syn i)).Lb.Balancer.dip)) in
+  (* before any insertion completes, probe again *)
+  List.iter
+    (fun (i, d) ->
+      let o = Silkroad.Switch.process sw ~now:0.002 (data i) in
+      check Alcotest.bool "pending pinned" true (o.Lb.Balancer.dip = d))
+    pending;
+  (* let everything install and the update finish *)
+  Silkroad.Switch.advance sw ~now:2.;
+  List.iter
+    (fun (i, d) ->
+      let o = Silkroad.Switch.process sw ~now:2. (data i) in
+      check Alcotest.bool "still pinned after install" true (o.Lb.Balancer.dip = d))
+    pending;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.int "no forced transitions" 0 s.Silkroad.Switch.forced_transitions;
+  check Alcotest.int "update completed" 1 s.Silkroad.Switch.updates_completed
+
+let switch_transit_cleared_after_updates () =
+  (* slow the learning path down so the update's Recording window is
+     still open when the second connection arrives *)
+  let cfg = { Silkroad.Config.default with Silkroad.Config.learning_timeout = 0.05 } in
+  let sw = mk_switch ~cfg () in
+  ignore (Silkroad.Switch.process sw ~now:0. (syn 1));
+  Silkroad.Switch.request_update sw ~now:0.001 ~vip (Lb.Balancer.Dip_add (dip 9));
+  ignore (Silkroad.Switch.process sw ~now:0.002 (syn 2));
+  check Alcotest.bool "recorded in bloom" true
+    (Asic.Bloom_filter.population (Silkroad.Switch.transit_filter sw) > 0);
+  Silkroad.Switch.advance sw ~now:1.;
+  check Alcotest.int "bloom cleared" 0
+    (Asic.Bloom_filter.population (Silkroad.Switch.transit_filter sw));
+  check Alcotest.bool "clear counted" true
+    ((Silkroad.Switch.stats sw).Silkroad.Switch.transit_clears >= 1)
+
+let switch_updates_queue_per_vip () =
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4 ] () in
+  Silkroad.Switch.request_update sw ~now:0. ~vip (Lb.Balancer.Dip_remove (dip 4));
+  Silkroad.Switch.request_update sw ~now:0. ~vip (Lb.Balancer.Dip_add (dip 5));
+  Silkroad.Switch.request_update sw ~now:0. ~vip (Lb.Balancer.Dip_remove (dip 1));
+  Silkroad.Switch.advance sw ~now:5.;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.int "all three ran" 3 s.Silkroad.Switch.updates_completed;
+  (* final pool: {2, 3, 5} *)
+  let seen = Hashtbl.create 8 in
+  for i = 0 to 400 do
+    match (Silkroad.Switch.process sw ~now:6. (syn i)).Lb.Balancer.dip with
+    | Some d -> Hashtbl.replace seen d ()
+    | None -> Alcotest.fail "dropped"
+  done;
+  check Alcotest.bool "dip1 gone" false (Hashtbl.mem seen (dip 1));
+  check Alcotest.bool "dip4 gone" false (Hashtbl.mem seen (dip 4));
+  check Alcotest.bool "dip5 present" true (Hashtbl.mem seen (dip 5))
+
+let switch_version_recycling () =
+  (* run many updates with live connections: far more updates than the
+     2^6 version space, exercising release + reuse *)
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4 ] () in
+  let now = ref 0. in
+  for round = 0 to 99 do
+    let d = 1 + (round mod 4) in
+    ignore (Silkroad.Switch.process sw ~now:!now (syn round));
+    Silkroad.Switch.request_update sw ~now:!now ~vip (Lb.Balancer.Dip_remove (dip d));
+    now := !now +. 0.5;
+    Silkroad.Switch.advance sw ~now:!now;
+    Silkroad.Switch.request_update sw ~now:!now ~vip (Lb.Balancer.Dip_add (dip d));
+    now := !now +. 0.5;
+    Silkroad.Switch.advance sw ~now:!now
+  done;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.int "no failures" 0 s.Silkroad.Switch.updates_failed;
+  check Alcotest.int "200 updates" 200 s.Silkroad.Switch.updates_completed;
+  check Alcotest.int "no version exhaustion" 0
+    (Silkroad.Dip_pool_table.version_exhaustions (Silkroad.Switch.pools sw));
+  check Alcotest.bool "reuse happened" true
+    (Silkroad.Dip_pool_table.reuses (Silkroad.Switch.pools sw) > 0)
+
+let switch_syn_collision_repair () =
+  let cfg =
+    { Silkroad.Config.default with
+      Silkroad.Config.digest_bits = 4;
+      conn_table_rows = 64;
+      conn_table_stages = 2;
+      conn_table_ways = 4 }
+  in
+  let sw = mk_switch ~cfg () in
+  (* install enough connections to make 4-bit collisions certain *)
+  for i = 0 to 299 do
+    ignore (Silkroad.Switch.process sw ~now:0. (syn i))
+  done;
+  Silkroad.Switch.advance sw ~now:1.;
+  for i = 1000 to 1999 do
+    ignore (Silkroad.Switch.process sw ~now:1. (syn i))
+  done;
+  Silkroad.Switch.advance sw ~now:2.;
+  let s = Silkroad.Switch.stats sw in
+  check Alcotest.bool "collisions observed" true (s.Silkroad.Switch.false_hits > 0);
+  check Alcotest.bool "repairs ran" true (s.Silkroad.Switch.collision_repairs > 0);
+  check Alcotest.bool "cpu handled syns" true (s.Silkroad.Switch.cpu_packets > 0)
+
+let switch_unknown_vip () =
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  let o = Silkroad.Switch.process sw ~now:0. (syn 1) in
+  check Alcotest.bool "dropped" true (o.Lb.Balancer.dip = None);
+  Alcotest.check_raises "update unknown"
+    (Invalid_argument "Switch.request_update: unknown VIP") (fun () ->
+      Silkroad.Switch.request_update sw ~now:0. ~vip (Lb.Balancer.Dip_add (dip 1)))
+
+let switch_memory_accounting () =
+  let sw = mk_switch () in
+  let bits = Silkroad.Switch.memory_bits sw in
+  check Alcotest.bool "includes conn table" true
+    (bits >= Silkroad.Conn_table.sram_bits (Silkroad.Switch.conn_table sw));
+  check Alcotest.bool "includes bloom" true
+    (bits >= Asic.Bloom_filter.bits (Silkroad.Switch.transit_filter sw))
+
+(* ---------- Meters / isolation ---------- *)
+
+let switch_meter_drops_red () =
+  let sw = mk_switch () in
+  (* 1 KB/s committed+excess: the third 1KB-ish packet in a burst is Red *)
+  Silkroad.Switch.set_meter sw ~vip ~cir:1000. ~cbs:1100 ~eir:1000. ~ebs:1100;
+  let outcomes =
+    List.init 4 (fun i -> (Silkroad.Switch.process sw ~now:0.001 (data i)).Lb.Balancer.dip)
+  in
+  let drops = List.length (List.filter (fun d -> d = None) outcomes) in
+  check Alcotest.bool "some packets dropped red" true (drops >= 1);
+  check Alcotest.bool "metered counted" true (Silkroad.Switch.metered_drops sw >= 1);
+  (* other VIPs unaffected *)
+  let vip2 = Netcore.Endpoint.v4 20 0 0 2 80 in
+  Silkroad.Switch.add_vip sw vip2 (pool [ 5; 6 ]);
+  let f2 =
+    Netcore.Five_tuple.make ~src:(Netcore.Endpoint.v4 9 9 9 9 999) ~dst:vip2
+      ~proto:Netcore.Protocol.Tcp
+  in
+  let o = Silkroad.Switch.process sw ~now:0.001 (Netcore.Packet.syn f2) in
+  check Alcotest.bool "unmetered vip forwards" true (o.Lb.Balancer.dip <> None);
+  Silkroad.Switch.clear_meter sw ~vip;
+  let o = Silkroad.Switch.process sw ~now:0.001 (data 99) in
+  check Alcotest.bool "meter cleared" true (o.Lb.Balancer.dip <> None)
+
+let switch_meter_unknown_vip () =
+  let sw = Silkroad.Switch.create Silkroad.Config.default in
+  Alcotest.check_raises "unknown" (Invalid_argument "Switch.set_meter: unknown VIP") (fun () ->
+      Silkroad.Switch.set_meter sw ~vip ~cir:1. ~cbs:1 ~eir:1. ~ebs:1)
+
+(* ---------- Hybrid (§7: combine with SLBs) ---------- *)
+
+let hybrid_pinned_vip_at_slb () =
+  let vip2 = Netcore.Endpoint.v4 20 0 0 2 80 in
+  let h =
+    Silkroad.Hybrid.create ~seed:3 ~slb_vips:[ vip2 ]
+      ~vips:[ (vip, pool [ 1; 2 ]); (vip2, pool [ 3; 4 ]) ]
+      ()
+  in
+  let b = Silkroad.Hybrid.balancer h in
+  let o1 = b.Lb.Balancer.process ~now:0. (syn 1) in
+  check Alcotest.bool "normal vip at asic" true (o1.Lb.Balancer.location = Lb.Balancer.Asic);
+  let f2 =
+    Netcore.Five_tuple.make ~src:(Netcore.Endpoint.v4 9 9 9 9 999) ~dst:vip2
+      ~proto:Netcore.Protocol.Tcp
+  in
+  let o2 = b.Lb.Balancer.process ~now:0. (Netcore.Packet.syn f2) in
+  check Alcotest.bool "pinned vip at slb" true (o2.Lb.Balancer.location = Lb.Balancer.Slb);
+  check Alcotest.int "slb tracks it" 1 (Silkroad.Hybrid.slb_connections h)
+
+let hybrid_overflow_spills () =
+  (* tiny ConnTable: once hot, new conns spill to the SLB and stay there *)
+  let cfg =
+    { Silkroad.Config.default with
+      Silkroad.Config.conn_table_rows = 4;
+      conn_table_stages = 2;
+      conn_table_ways = 2 }
+  in
+  let h =
+    Silkroad.Hybrid.create ~cfg ~overflow_threshold:0.5 ~seed:3 ~vips:[ (vip, pool [ 1; 2; 3; 4 ]) ] ()
+  in
+  let b = Silkroad.Hybrid.balancer h in
+  for i = 0 to 63 do
+    ignore (b.Lb.Balancer.process ~now:(0.01 *. float_of_int i) (syn i))
+  done;
+  b.Lb.Balancer.advance ~now:10.;
+  for i = 64 to 127 do
+    ignore (b.Lb.Balancer.process ~now:(10. +. (0.01 *. float_of_int i)) (syn i))
+  done;
+  check Alcotest.bool "spilled some" true (Silkroad.Hybrid.spilled_connections h > 0);
+  (* a spilled connection is served by the SLB consistently, through updates *)
+  let spilled_flow = 127 in
+  let d0 = (b.Lb.Balancer.process ~now:12. (data spilled_flow)).Lb.Balancer.dip in
+  b.Lb.Balancer.update ~now:13. ~vip (Lb.Balancer.Dip_remove (dip 4));
+  b.Lb.Balancer.advance ~now:14.;
+  let d1 = (b.Lb.Balancer.process ~now:14. (data spilled_flow)).Lb.Balancer.dip in
+  check Alcotest.bool "spilled conn pinned" true (d0 = d1)
+
+let hybrid_updates_reach_both () =
+  let vip2 = Netcore.Endpoint.v4 20 0 0 2 80 in
+  let h =
+    Silkroad.Hybrid.create ~seed:3 ~slb_vips:[ vip2 ]
+      ~vips:[ (vip, pool [ 1; 2 ]); (vip2, pool [ 3; 4 ]) ]
+      ()
+  in
+  let b = Silkroad.Hybrid.balancer h in
+  b.Lb.Balancer.update ~now:0. ~vip:vip2 (Lb.Balancer.Dip_remove (dip 3));
+  b.Lb.Balancer.advance ~now:1.;
+  (* all new conns of vip2 now land on dip 4 *)
+  for i = 0 to 20 do
+    let f =
+      Netcore.Five_tuple.make
+        ~src:(Netcore.Endpoint.v4 9 9 9 9 (1000 + i))
+        ~dst:vip2 ~proto:Netcore.Protocol.Tcp
+    in
+    check Alcotest.bool "new pool live at slb" true
+      ((b.Lb.Balancer.process ~now:1. (Netcore.Packet.syn f)).Lb.Balancer.dip = Some (dip 4))
+  done
+
+(* ---------- Switch_group (§7: switch failures) ---------- *)
+
+let group_spreads_and_survives () =
+  let g = Silkroad.Switch_group.create ~seed:4 ~switches:3 ~vips:[ (vip, pool [ 1; 2; 3; 4 ]) ] () in
+  let b = Silkroad.Switch_group.balancer g in
+  (* flows spread over the 3 members *)
+  let before = List.init 90 (fun i -> (i, (b.Lb.Balancer.process ~now:0. (syn i)).Lb.Balancer.dip)) in
+  b.Lb.Balancer.advance ~now:1.;
+  let conns = Array.map Silkroad.Switch.connections (Silkroad.Switch_group.members g) in
+  Array.iter (fun c -> check Alcotest.bool "each member holds some" true (c > 0)) conns;
+  (* no updates ever: failing a switch re-hashes its flows onto an
+     identical VIPTable -> no breakage *)
+  Silkroad.Switch_group.fail g 0;
+  check Alcotest.int "two alive" 2 (Silkroad.Switch_group.alive g);
+  List.iter
+    (fun (i, d) ->
+      let o = b.Lb.Balancer.process ~now:2. (data i) in
+      check Alcotest.bool "same mapping on survivor" true (o.Lb.Balancer.dip = d))
+    before
+
+let group_old_version_conns_break () =
+  let g = Silkroad.Switch_group.create ~seed:4 ~switches:2 ~vips:[ (vip, pool [ 1; 2; 3; 4; 5; 6; 7; 8 ]) ] () in
+  let b = Silkroad.Switch_group.balancer g in
+  let before = List.init 200 (fun i -> (i, (b.Lb.Balancer.process ~now:0. (syn i)).Lb.Balancer.dip)) in
+  b.Lb.Balancer.advance ~now:1.;
+  (* an update pins existing conns to the old version *)
+  b.Lb.Balancer.update ~now:1. ~vip (Lb.Balancer.Dip_add (dip 9));
+  b.Lb.Balancer.advance ~now:2.;
+  (* without failure: nothing breaks *)
+  List.iter
+    (fun (i, d) ->
+      check Alcotest.bool "held before failure" true
+        ((b.Lb.Balancer.process ~now:2. (data i)).Lb.Balancer.dip = d))
+    before;
+  Silkroad.Switch_group.fail g 0;
+  (* flows that lived on switch 0 under the old version re-hash under the
+     NEW pool on switch 1: some break — "the same issue with an SLB
+     failure" (§7) *)
+  let broken =
+    List.length
+      (List.filter
+         (fun (i, d) -> (b.Lb.Balancer.process ~now:3. (data i)).Lb.Balancer.dip <> d)
+         before)
+  in
+  check Alcotest.bool (Printf.sprintf "some broke (%d)" broken) true (broken > 0);
+  check Alcotest.bool "most survive" true (broken < 100)
+
+let group_last_switch_protected () =
+  let g = Silkroad.Switch_group.create ~seed:4 ~switches:2 ~vips:[ (vip, pool [ 1 ]) ] () in
+  Silkroad.Switch_group.fail g 0;
+  Alcotest.check_raises "last" (Invalid_argument "Switch_group.fail: cannot kill the last switch")
+    (fun () -> Silkroad.Switch_group.fail g 1)
+
+let udp_flow i =
+  Netcore.Five_tuple.make
+    ~src:(Netcore.Endpoint.v4 4 4 ((i / 60000) + 1) 4 (1 + (i mod 60000)))
+    ~dst:vip ~proto:Netcore.Protocol.Udp
+
+let switch_udp_connections () =
+  (* UDP has no SYN/FIN: entries are learned from any packet and expire
+     by idle timeout; PCC must hold across updates all the same *)
+  let cfg = { Silkroad.Config.default with Silkroad.Config.idle_timeout = 2. } in
+  let sw = mk_switch ~cfg ~dips:[ 1; 2; 3; 4; 5; 6; 7; 8 ] () in
+  let pkt i = Netcore.Packet.make ~flags:Netcore.Tcp_flags.none ~payload_len:256 (udp_flow i) in
+  let before =
+    List.init 40 (fun i -> (i, (Silkroad.Switch.process sw ~now:0. (pkt i)).Lb.Balancer.dip))
+  in
+  Silkroad.Switch.advance sw ~now:0.5;
+  check Alcotest.int "udp entries learned" 40 (Silkroad.Switch.connections sw);
+  Silkroad.Switch.request_update sw ~now:0.5 ~vip (Lb.Balancer.Dip_add (dip 9));
+  Silkroad.Switch.advance sw ~now:1.;
+  List.iter
+    (fun (i, d) ->
+      check Alcotest.bool "udp pinned" true
+        ((Silkroad.Switch.process sw ~now:1. (pkt i)).Lb.Balancer.dip = d))
+    before;
+  (* silence: the idle timer reaps them *)
+  Silkroad.Switch.advance sw ~now:5.;
+  Silkroad.Switch.advance sw ~now:8.;
+  check Alcotest.int "udp entries expired" 0 (Silkroad.Switch.connections sw)
+
+(* ---------- Health_checker (§7) ---------- *)
+
+let health_detects_failure () =
+  let down = Hashtbl.create 4 in
+  let is_alive d = not (Hashtbl.mem down d) in
+  let dips = List.map dip [ 1; 2; 3 ] in
+  let hc = Silkroad.Health_checker.create ~interval:10. ~threshold:3 ~is_alive ~dips () in
+  (* all healthy: no events over three rounds *)
+  check Alcotest.int "quiet" 0 (List.length (Silkroad.Health_checker.advance hc ~now:25.));
+  (* dip 2 dies: detected after 3 missed probes (30s) *)
+  Hashtbl.replace down (dip 2) ();
+  let events = Silkroad.Health_checker.advance hc ~now:65. in
+  check Alcotest.int "one event" 1 (List.length events);
+  (match events with
+   | [ (d, `Down) ] -> check Alcotest.bool "right dip" true (Netcore.Endpoint.equal d (dip 2))
+   | _ -> Alcotest.fail "expected one Down");
+  check Alcotest.bool "marked" true (Silkroad.Health_checker.is_marked_down hc (dip 2));
+  (* recovery is announced on the next probe *)
+  Hashtbl.remove down (dip 2);
+  let events = Silkroad.Health_checker.advance hc ~now:75. in
+  (match events with
+   | [ (d, `Up) ] -> check Alcotest.bool "up" true (Netcore.Endpoint.equal d (dip 2))
+   | _ -> Alcotest.fail "expected one Up");
+  check Alcotest.bool "unmarked" false (Silkroad.Health_checker.is_marked_down hc (dip 2))
+
+let health_flap_needs_threshold () =
+  let alive = ref false in
+  let hc =
+    Silkroad.Health_checker.create ~interval:1. ~threshold:3 ~is_alive:(fun _ -> !alive)
+      ~dips:[ dip 1 ] ()
+  in
+  (* alternate up/down faster than the threshold: never declared down *)
+  let events = ref [] in
+  for i = 0 to 19 do
+    alive := i mod 2 = 0;
+    events := !events @ Silkroad.Health_checker.advance hc ~now:(float_of_int i)
+  done;
+  check Alcotest.int "no transitions" 0 (List.length !events)
+
+let health_bandwidth_anchor () =
+  (* §7: 10K DIPs / 10 s / 100-byte probes ~ 800 Kbps *)
+  let bps = Silkroad.Health_checker.probe_bandwidth_bps ~dips:10_000 ~interval:10. ~probe_bytes:100 in
+  check Alcotest.bool (Printf.sprintf "%.0f bps ~ 800k" bps) true (bps = 800_000.)
+
+let health_drives_switch_updates () =
+  (* end to end: checker events feed the switch's update queue *)
+  let down = Hashtbl.create 4 in
+  let is_alive d = not (Hashtbl.mem down d) in
+  let dips_l = List.map dip [ 1; 2; 3; 4 ] in
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4 ] () in
+  let hc = Silkroad.Health_checker.create ~interval:5. ~threshold:2 ~is_alive ~dips:dips_l () in
+  Hashtbl.replace down (dip 3) ();
+  let apply now =
+    List.iter
+      (fun (d, ev) ->
+        let u = match ev with `Down -> Lb.Balancer.Dip_remove d | `Up -> Lb.Balancer.Dip_add d in
+        Silkroad.Switch.request_update sw ~now ~vip u)
+      (Silkroad.Health_checker.advance hc ~now)
+  in
+  apply 20.;
+  Silkroad.Switch.advance sw ~now:21.;
+  (* no new connection may land on the dead DIP *)
+  for i = 0 to 200 do
+    match (Silkroad.Switch.process sw ~now:21. (syn i)).Lb.Balancer.dip with
+    | Some d -> check Alcotest.bool "avoids dead dip" false (Netcore.Endpoint.equal d (dip 3))
+    | None -> Alcotest.fail "dropped"
+  done;
+  (* recovery re-adds it (exercising version reuse) *)
+  Hashtbl.remove down (dip 3);
+  apply 40.;
+  Silkroad.Switch.advance sw ~now:41.;
+  let reached = ref false in
+  for i = 300 to 600 do
+    if (Silkroad.Switch.process sw ~now:41. (syn i)).Lb.Balancer.dip = Some (dip 3) then
+      reached := true
+  done;
+  check Alcotest.bool "recovered dip reachable" true !reached
+
+(* ---------- Memory_model ---------- *)
+
+let mm_entry_bits () =
+  (* paper: IPv6 naive entry = 37B key + 18B action + overhead *)
+  check Alcotest.int "naive v6" ((37 * 8) + (18 * 8) + 6)
+    (Silkroad.Memory_model.conn_entry_bits ~layout:Silkroad.Memory_model.Naive ~ipv6:true
+       ~digest_bits:16 ~version_bits:6);
+  check Alcotest.int "digest+version" 28
+    (Silkroad.Memory_model.conn_entry_bits ~layout:Silkroad.Memory_model.Digest_version
+       ~ipv6:true ~digest_bits:16 ~version_bits:6)
+
+let mm_10m_naive_overflows () =
+  (* "storing the states of ten million connections ... takes a few
+     hundreds of MB" vs <=100MB available *)
+  let naive =
+    Silkroad.Memory_model.conn_table_bits ~layout:Silkroad.Memory_model.Naive ~ipv6:true
+      ~digest_bits:16 ~version_bits:6 ~connections:10_000_000
+  in
+  check Alcotest.bool "naive 10M v6 > 100 MB" true (Silkroad.Memory_model.mb naive > 100.);
+  let compact =
+    Silkroad.Memory_model.switch_bits ~layout:Silkroad.Memory_model.Digest_version ~ipv6:true
+      ~digest_bits:16 ~version_bits:6 ~connections:10_000_000 ~versions:64 ~total_dips:4187
+  in
+  check Alcotest.bool "compact 10M v6 fits 50 MB" true (Silkroad.Memory_model.mb compact < 50.)
+
+let mm_dippool_anchor () =
+  (* "64 versions of 4187 IPv6 DIPs" ~ 4.8 MB *)
+  let bits = Silkroad.Memory_model.dip_pool_table_bits ~ipv6:true ~versions:64 ~total_dips:4187 in
+  let mb = Silkroad.Memory_model.mb bits in
+  check Alcotest.bool (Printf.sprintf "%.2f MB ~ 4.8" mb) true (mb > 4. && mb < 6.)
+
+let mm_saving_bounds () =
+  check (Alcotest.float 1e-9) "half" 50. (Silkroad.Memory_model.saving_percent ~baseline:100 ~compact:50);
+  check (Alcotest.float 1e-9) "zero base" 0. (Silkroad.Memory_model.saving_percent ~baseline:0 ~compact:10)
+
+let mm_table1 () =
+  let gens = Silkroad.Memory_model.asic_generations in
+  check Alcotest.int "three generations" 3 (List.length gens);
+  let last = List.nth gens 2 in
+  check Alcotest.int "2016" 2016 last.Silkroad.Memory_model.gen_year;
+  check Alcotest.int "100 MB" 100 last.Silkroad.Memory_model.gen_sram_mb_hi
+
+(* ---------- Cost_model ---------- *)
+
+let cost_ratios () =
+  let c = Silkroad.Cost_model.power_and_cost () in
+  check Alcotest.bool
+    (Printf.sprintf "power ratio %.0f ~ 500" c.Silkroad.Cost_model.power_ratio)
+    true
+    (c.Silkroad.Cost_model.power_ratio > 400. && c.Silkroad.Cost_model.power_ratio < 650.);
+  check Alcotest.bool
+    (Printf.sprintf "cost ratio %.0f ~ 250" c.Silkroad.Cost_model.cost_ratio)
+    true
+    (c.Silkroad.Cost_model.cost_ratio > 180. && c.Silkroad.Cost_model.cost_ratio < 320.)
+
+let cost_counts () =
+  (* the paper's sizing example: 15 Tbps needs 1500 SLBs at 10G NICs *)
+  let d = Silkroad.Cost_model.demand_of_traffic ~gbps:15_000. ~avg_packet_bytes:800 ~connections:10_000_000 in
+  check Alcotest.int "1500 slbs" 1500 (Silkroad.Cost_model.slb_count d);
+  check Alcotest.int "3 silkroads (traffic-bound)" 3 (Silkroad.Cost_model.silkroad_count d);
+  (* a connection-bound cluster *)
+  let d2 = Silkroad.Cost_model.demand_of_traffic ~gbps:100. ~avg_packet_bytes:800 ~connections:25_000_000 in
+  check Alcotest.int "conn bound" 3 (Silkroad.Cost_model.silkroad_count d2)
+
+(* ---------- Program (Table 2) ---------- *)
+
+let program_shape () =
+  let p = Silkroad.Program.table2 ~connections:1_000_000 ~vips:1024 in
+  (* Table 2's qualitative shape: TCAM untouched; every other class in
+     (0, 50%]; SALUs the largest consumer *)
+  check (Alcotest.float 1e-9) "tcam 0" 0. p.Asic.Resources.p_tcam;
+  let fields =
+    [ p.Asic.Resources.p_match_crossbar; p.Asic.Resources.p_sram; p.Asic.Resources.p_vliw;
+      p.Asic.Resources.p_hash_bits; p.Asic.Resources.p_stateful_alus ]
+  in
+  List.iter (fun f -> check Alcotest.bool "in (0,60)" true (f > 0. && f < 60.)) fields;
+  check Alcotest.bool "phv tiny" true (p.Asic.Resources.p_phv < 3.);
+  check Alcotest.bool "salu largest" true
+    (List.for_all (fun f -> p.Asic.Resources.p_stateful_alus >= f -. 1e-9) fields)
+
+let program_scales_with_connections () =
+  let r1 = Silkroad.Program.additional_resources ~connections:1_000_000 ~vips:1024 in
+  let r10 = Silkroad.Program.additional_resources ~connections:10_000_000 ~vips:1024 in
+  check Alcotest.bool "sram grows roughly linearly" true
+    (r10.Asic.Resources.sram_bits > 6 * r1.Asic.Resources.sram_bits);
+  check Alcotest.int "crossbar unchanged" r1.Asic.Resources.match_crossbar_bits
+    r10.Asic.Resources.match_crossbar_bits
+
+(* ---------- Assignment ---------- *)
+
+let mb_bits mb = mb * 8 * 1024 * 1024
+
+let assignment_basic () =
+  let layers =
+    [ { Silkroad.Assignment.layer_name = "tor"; switches = 4; sram_budget_bits = mb_bits 10;
+        capacity_gbps = 1000. };
+      { Silkroad.Assignment.layer_name = "core"; switches = 2; sram_budget_bits = mb_bits 50;
+        capacity_gbps = 6000. } ]
+  in
+  let vips =
+    List.init 20 (fun i ->
+        { Silkroad.Assignment.vip = Netcore.Endpoint.v4 20 0 0 (i + 1) 80;
+          conn_bits = mb_bits 4; traffic_gbps = 100. })
+  in
+  let p = Silkroad.Assignment.assign ~layers ~vips in
+  check Alcotest.int "all placed" 20 (List.length p.Silkroad.Assignment.assignment);
+  check Alcotest.int "none unplaced" 0 (List.length p.Silkroad.Assignment.unplaced);
+  check Alcotest.bool "within budget" true (p.Silkroad.Assignment.max_sram_utilization <= 1.);
+  (* both layers should be used: min-max balancing *)
+  let used_layers = List.sort_uniq compare (List.map snd p.Silkroad.Assignment.assignment) in
+  check Alcotest.int "both layers" 2 (List.length used_layers)
+
+let assignment_overflow_reported () =
+  let layers =
+    [ { Silkroad.Assignment.layer_name = "tor"; switches = 1; sram_budget_bits = mb_bits 1;
+        capacity_gbps = 10. } ]
+  in
+  let vips =
+    [ { Silkroad.Assignment.vip = vip; conn_bits = mb_bits 100; traffic_gbps = 1. } ]
+  in
+  let p = Silkroad.Assignment.assign ~layers ~vips in
+  check Alcotest.int "unplaced" 1 (List.length p.Silkroad.Assignment.unplaced)
+
+let assignment_respects_traffic () =
+  let layers =
+    [ { Silkroad.Assignment.layer_name = "tiny-pipe"; switches = 1; sram_budget_bits = mb_bits 100;
+        capacity_gbps = 1. };
+      { Silkroad.Assignment.layer_name = "fat-pipe"; switches = 1; sram_budget_bits = mb_bits 100;
+        capacity_gbps = 10_000. } ]
+  in
+  let vips =
+    [ { Silkroad.Assignment.vip = vip; conn_bits = mb_bits 1; traffic_gbps = 500. } ]
+  in
+  let p = Silkroad.Assignment.assign ~layers ~vips in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)) "goes to fat pipe"
+    [ (Netcore.Endpoint.to_string vip, "fat-pipe") ]
+    (List.map (fun (v, l) -> (Netcore.Endpoint.to_string v, l)) p.Silkroad.Assignment.assignment)
+
+let suites =
+  [
+    ( "silkroad.version",
+      [
+        tc "alloc/release" `Quick version_alloc_release;
+        tc "ring order" `Quick version_ring_buffer_order;
+        tc "exhaustion" `Quick version_exhaustion;
+        tc "double release" `Quick version_double_release;
+        QCheck_alcotest.to_alcotest qcheck_version_never_double_allocates;
+      ] );
+    ( "silkroad.dip_pool_table",
+      [
+        tc "basics" `Quick dpt_basics;
+        tc "remove creates version" `Quick dpt_publish_remove_creates_version;
+        tc "version reuse" `Quick dpt_version_reuse;
+        tc "re-add same dip" `Quick dpt_readd_same_dip_reuses;
+        tc "refcount destroys" `Quick dpt_refcount_destroys;
+        tc "current survives" `Quick dpt_current_survives_zero_refs;
+        tc "gc" `Quick dpt_gc;
+        tc "bad updates" `Quick dpt_bad_updates;
+      ] );
+    ( "silkroad.vip_table",
+      [ tc "phases" `Quick vipt_phases; tc "illegal transitions" `Quick vipt_illegal_transitions ] );
+    ( "silkroad.conn_table",
+      [
+        tc "insert/lookup" `Quick ct_insert_lookup;
+        tc "remove" `Quick ct_remove;
+        tc "entry bits" `Quick ct_entry_bits;
+        tc "collision repair" `Quick ct_false_positive_repair;
+        tc "repair preserves residents" `Quick ct_repair_preserves_residents;
+      ] );
+    ( "silkroad.switch",
+      [
+        tc "forwards" `Quick switch_forwards;
+        tc "learning delay" `Quick switch_learns_after_delay;
+        tc "consistent around install" `Quick switch_same_dip_before_after_install;
+        tc "fin expires" `Quick switch_fin_expires_entry;
+        tc "idle gc" `Quick switch_idle_timeout_gc;
+        tc "update keeps old flows" `Quick switch_update_keeps_old_flows;
+        tc "new flows new pool" `Quick switch_new_flows_use_new_pool;
+        tc "pending protected (3-step)" `Quick switch_pending_conns_protected;
+        tc "transit cleared" `Quick switch_transit_cleared_after_updates;
+        tc "updates queue" `Quick switch_updates_queue_per_vip;
+        tc "version recycling" `Quick switch_version_recycling;
+        tc "syn collision repair" `Quick switch_syn_collision_repair;
+        tc "unknown vip" `Quick switch_unknown_vip;
+        tc "memory accounting" `Quick switch_memory_accounting;
+        tc "udp connections" `Quick switch_udp_connections;
+      ] );
+    ( "silkroad.isolation",
+      [
+        tc "meter drops red" `Quick switch_meter_drops_red;
+        tc "meter unknown vip" `Quick switch_meter_unknown_vip;
+      ] );
+    ( "silkroad.hybrid",
+      [
+        tc "pinned vip" `Quick hybrid_pinned_vip_at_slb;
+        tc "overflow spills" `Quick hybrid_overflow_spills;
+        tc "updates reach both" `Quick hybrid_updates_reach_both;
+      ] );
+    ( "silkroad.switch_group",
+      [
+        tc "spread & survive" `Quick group_spreads_and_survives;
+        tc "old versions break" `Quick group_old_version_conns_break;
+        tc "last switch protected" `Quick group_last_switch_protected;
+      ] );
+    ( "silkroad.health",
+      [
+        tc "detects failure & recovery" `Quick health_detects_failure;
+        tc "flapping below threshold" `Quick health_flap_needs_threshold;
+        tc "probe bandwidth" `Quick health_bandwidth_anchor;
+        tc "drives switch updates" `Quick health_drives_switch_updates;
+      ] );
+    ( "silkroad.memory_model",
+      [
+        tc "entry bits" `Quick mm_entry_bits;
+        tc "10M scaling" `Quick mm_10m_naive_overflows;
+        tc "dippool anchor" `Quick mm_dippool_anchor;
+        tc "saving bounds" `Quick mm_saving_bounds;
+        tc "table 1" `Quick mm_table1;
+      ] );
+    ( "silkroad.cost_model",
+      [ tc "ratios" `Quick cost_ratios; tc "counts" `Quick cost_counts ] );
+    ( "silkroad.program",
+      [
+        tc "table 2 shape" `Quick program_shape;
+        tc "scales with conns" `Quick program_scales_with_connections;
+      ] );
+    ( "silkroad.p4_sketch",
+      [
+        tc "emits the program" `Quick (fun () ->
+            let p4 = Silkroad.P4_sketch.emit Silkroad.Config.default in
+            List.iter
+              (fun needle ->
+                check Alcotest.bool needle true
+                  (let re = Str.regexp_string needle in
+                   try ignore (Str.search_forward re p4 0); true with Not_found -> false))
+              [ "conn_table"; "vip_table"; "dip_pool_table"; "learn_table"; "transit_bank_0";
+                "bit<16>  conn_digest"; "bit<6>   pool_version"; "size = 1048576";
+                "register<bit<1>>(2048)" ]);
+        tc "about 400 lines" `Quick (fun () ->
+            (* the paper: "defined in a 400 line P4 program" *)
+            let n = Silkroad.P4_sketch.line_count Silkroad.Config.default in
+            check Alcotest.bool (Printf.sprintf "%d lines in [250, 500]" n) true
+              (n >= 250 && n <= 500));
+      ] );
+    ( "silkroad.assignment",
+      [
+        tc "basic" `Quick assignment_basic;
+        tc "overflow" `Quick assignment_overflow_reported;
+        tc "traffic constraint" `Quick assignment_respects_traffic;
+      ] );
+  ]
