@@ -1,0 +1,22 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full verification: build everything, run the test suite, then a smoke
+# bench run that exercises the telemetry pipeline end to end and leaves
+# its registry snapshot in BENCH_telemetry.json.
+check: build test
+	dune exec bench/main.exe -- --smoke
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -f BENCH_telemetry.json

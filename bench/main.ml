@@ -118,9 +118,35 @@ let run_micro ppf =
         ols)
     (micro_tests ())
 
+(* Reference driver run whose registry snapshot is written next to the
+   bench output: a machine-readable record of what the run measured
+   (latency histograms included), comparable across commits. *)
+let emit_telemetry ppf path =
+  let scenario =
+    Experiments.Common.scenario ~n_vips:1 ~dips_per_vip:8 ~conns_per_sec_per_vip:50.
+      ~updates_per_min:6. ~trace_seconds:30. ()
+  in
+  let vips = Experiments.Common.vips_of ~n_vips:1 ~dips_per_vip:8 in
+  let _, balancer = Experiments.Common.silkroad ~vips () in
+  let r = Experiments.Common.run balancer scenario in
+  let json =
+    Telemetry.Json.Obj
+      [ (r.Harness.Driver.balancer_name,
+         Telemetry.Snapshot.to_json_value r.Harness.Driver.telemetry) ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Telemetry.Json.to_string_pretty json);
+      output_char oc '\n');
+  Format.fprintf ppf "wrote %s (latency median %.2e s, p99 %.2e s)@." path
+    r.Harness.Driver.latency_median r.Harness.Driver.latency_p99
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = not (List.mem "--full" args) in
+  let smoke = List.mem "--smoke" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -131,18 +157,26 @@ let () =
   in
   let skip_micro = List.mem "--no-micro" args in
   let ppf = Format.std_formatter in
-  Format.fprintf ppf "SilkRoad paper reproduction — %s mode@."
-    (if quick then "quick" else "full");
-  (match only with
-   | Some id ->
-     (match Experiments.Registry.find id with
-      | Some e -> e.Experiments.Registry.run ~quick ppf
-      | None ->
-        Format.fprintf ppf "unknown experiment %S; available:@." id;
-        List.iter
-          (fun e -> Format.fprintf ppf "  %-16s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
-          Experiments.Registry.all)
-   | None ->
-     Experiments.Registry.run_all ~quick ppf;
-     if not skip_micro then run_micro ppf);
+  if smoke then begin
+    (* `make check` entry point: just the reference run + snapshot *)
+    Format.fprintf ppf "SilkRoad bench — smoke mode@.";
+    emit_telemetry ppf "BENCH_telemetry.json"
+  end
+  else begin
+    Format.fprintf ppf "SilkRoad paper reproduction — %s mode@."
+      (if quick then "quick" else "full");
+    (match only with
+     | Some id ->
+       (match Experiments.Registry.find id with
+        | Some e -> e.Experiments.Registry.run ~quick ppf
+        | None ->
+          Format.fprintf ppf "unknown experiment %S; available:@." id;
+          List.iter
+            (fun e -> Format.fprintf ppf "  %-16s %s@." e.Experiments.Registry.id e.Experiments.Registry.title)
+            Experiments.Registry.all)
+     | None ->
+       Experiments.Registry.run_all ~quick ppf;
+       if not skip_micro then run_micro ppf;
+       emit_telemetry ppf "BENCH_telemetry.json")
+  end;
   Format.pp_print_flush ppf ()

@@ -56,6 +56,27 @@ let experiments_cmd =
 
 (* ---- demo ---- *)
 
+(* Write a JSON object keyed by balancer name, each value a full registry
+   snapshot, e.g. {"silkroad": [...], "slb": [...]}. *)
+let write_metrics_json path named_snapshots =
+  let json =
+    Telemetry.Json.Obj
+      (List.map (fun (name, s) -> (name, Telemetry.Snapshot.to_json_value s)) named_snapshots)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Telemetry.Json.to_string_pretty json);
+      output_char oc '\n')
+
+let metrics_json_flag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write every balancer's telemetry snapshot to $(docv) as JSON.")
+
 let demo_cmd =
   let conns =
     Arg.(value & opt float 100. & info [ "rate" ] ~docv:"CONNS" ~doc:"New connections per second.")
@@ -67,7 +88,7 @@ let demo_cmd =
     Arg.(value & opt float 300. & info [ "seconds" ] ~docv:"S" ~doc:"Trace duration in seconds.")
   in
   let dips = Arg.(value & opt int 8 & info [ "dips" ] ~docv:"N" ~doc:"DIPs in the pool.") in
-  let run rate updates seconds dips verbose =
+  let run rate updates seconds dips metrics_json verbose =
     setup_logs verbose;
     let scenario =
       Experiments.Common.scenario ~n_vips:1 ~dips_per_vip:dips ~conns_per_sec_per_vip:rate
@@ -78,8 +99,11 @@ let demo_cmd =
       (List.length scenario.Experiments.Common.flows)
       (List.length scenario.Experiments.Common.updates)
       seconds;
+    let snapshots = ref [] in
     let report balancer =
       let r = Experiments.Common.run balancer scenario in
+      snapshots :=
+        (r.Harness.Driver.balancer_name, r.Harness.Driver.telemetry) :: !snapshots;
       Format.fprintf ppf "  %a@." Harness.Driver.pp_result r
     in
     report (Baselines.Ecmp_lb.create_with ~seed:1 vips);
@@ -90,11 +114,16 @@ let demo_cmd =
     in
     report duet;
     let _, silkroad = Experiments.Common.silkroad ~vips () in
-    report silkroad
+    report silkroad;
+    match metrics_json with
+    | None -> ()
+    | Some path ->
+      write_metrics_json path (List.rev !snapshots);
+      Format.fprintf ppf "wrote telemetry snapshots to %s@." path
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run all four balancers on the same workload and compare PCC.")
-    Term.(const run $ conns $ updates $ seconds $ dips $ verbose_flag)
+    Term.(const run $ conns $ updates $ seconds $ dips $ metrics_json_flag $ verbose_flag)
 
 (* ---- memory ---- *)
 
@@ -180,7 +209,7 @@ let trace_replay_cmd =
   let updates_path =
     Arg.(value & opt (some string) None & info [ "updates" ] ~docv:"FILE" ~doc:"Update trace file.")
   in
-  let run flows_path updates_path verbose =
+  let run flows_path updates_path metrics_json verbose =
     setup_logs verbose;
     match Simnet.Trace_io.load_flows flows_path with
     | Error e -> `Error (false, flows_path ^ ": " ^ e)
@@ -234,10 +263,16 @@ let trace_replay_cmd =
          let _, balancer = Experiments.Common.silkroad ~vips:vip_pools () in
          let r = Harness.Driver.run ~balancer ~flows ~updates ~horizon () in
          Format.fprintf ppf "%a@." Harness.Driver.pp_result r;
+         (match metrics_json with
+          | None -> ()
+          | Some path ->
+            write_metrics_json path
+              [ (r.Harness.Driver.balancer_name, r.Harness.Driver.telemetry) ];
+            Format.fprintf ppf "wrote telemetry snapshot to %s@." path);
          `Ok ())
   in
   Cmd.v (Cmd.info "trace-replay" ~doc:"Replay trace files against a SilkRoad switch.")
-    Term.(ret (const run $ flows_path $ updates_path $ verbose_flag))
+    Term.(ret (const run $ flows_path $ updates_path $ metrics_json_flag $ verbose_flag))
 
 let () =
   let doc = "SilkRoad: stateful L4 load balancing in a switching ASIC (SIGCOMM'17 reproduction)" in

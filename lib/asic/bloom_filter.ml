@@ -4,17 +4,24 @@ type t = {
   hashes : int;
   family : Netcore.Hashing.family;
   mutable population : int;
+  c_adds : Telemetry.Registry.Counter.t;
+  c_clears : Telemetry.Registry.Counter.t;
+  g_fill : Telemetry.Registry.Gauge.t;
 }
 
-let create ?(seed = 0x710f) ~bits ~hashes () =
+let create ?(seed = 0x710f) ?metrics ~bits ~hashes () =
   assert (bits > 0);
   assert (hashes >= 1 && hashes <= 16);
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
   {
     regs = Register_array.create ~name:"bloom" ~width_bits:1 ~size:bits ();
     nbits = bits;
     hashes;
     family = Netcore.Hashing.family ~seed;
     population = 0;
+    c_adds = Telemetry.Registry.counter reg "bloom.adds";
+    c_clears = Telemetry.Registry.counter reg "bloom.clears";
+    g_fill = Telemetry.Registry.gauge reg "bloom.fill_ratio";
   }
 
 let bits t = t.nbits
@@ -29,7 +36,10 @@ let add t key =
       Register_array.write t.regs idx 1;
       t.population <- t.population + 1
     end
-  done
+  done;
+  Telemetry.Registry.Counter.incr t.c_adds;
+  Telemetry.Registry.Gauge.set t.g_fill
+    (float_of_int t.population /. float_of_int t.nbits)
 
 let mem t key =
   let rec probe i =
@@ -39,7 +49,9 @@ let mem t key =
 
 let clear t =
   Register_array.clear t.regs;
-  t.population <- 0
+  t.population <- 0;
+  Telemetry.Registry.Counter.incr t.c_clears;
+  Telemetry.Registry.Gauge.set t.g_fill 0.
 
 let population t = t.population
 

@@ -12,10 +12,12 @@
 
 type t
 
-val create : ?seed:int -> bits:int -> hashes:int -> unit -> t
+val create : ?seed:int -> ?metrics:Telemetry.Registry.t -> bits:int -> hashes:int -> unit -> t
 (** [create ~bits ~hashes ()] is an empty filter of [bits] bits (must be
     positive) probed by [hashes] functions (1..16). A 256-byte
-    TransitTable is [create ~bits:2048 ~hashes:2 ()]. *)
+    TransitTable is [create ~bits:2048 ~hashes:2 ()]. [?metrics] is the
+    registry the filter reports through: [bloom.adds] and [bloom.clears]
+    counters and a [bloom.fill_ratio] gauge. *)
 
 val bits : t -> int
 val hashes : t -> int

@@ -4,12 +4,25 @@ type ('k, 'm) t = {
   keys : ('k, unit) Hashtbl.t;
   queue : ('k * 'm * float) Queue.t;
   mutable dropped : int;
+  c_offered : Telemetry.Registry.Counter.t;
+  c_dropped : Telemetry.Registry.Counter.t;
+  g_pending : Telemetry.Registry.Gauge.t;
 }
 
-let create ~capacity ~timeout () =
+let create ?metrics ~capacity ~timeout () =
   assert (capacity > 0);
   assert (timeout >= 0.);
-  { capacity; timeout; keys = Hashtbl.create 256; queue = Queue.create (); dropped = 0 }
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
+  {
+    capacity;
+    timeout;
+    keys = Hashtbl.create 256;
+    queue = Queue.create ();
+    dropped = 0;
+    c_offered = Telemetry.Registry.counter reg "learning.offered";
+    c_dropped = Telemetry.Registry.counter reg "learning.dropped";
+    g_pending = Telemetry.Registry.gauge reg "learning.pending";
+  }
 
 let capacity t = t.capacity
 let timeout t = t.timeout
@@ -18,14 +31,17 @@ let pending t = Queue.length t.queue
 let dropped t = t.dropped
 
 let offer t ~now k m =
+  Telemetry.Registry.Counter.incr t.c_offered;
   if Hashtbl.mem t.keys k then `Duplicate
   else if Queue.length t.queue >= t.capacity then begin
     t.dropped <- t.dropped + 1;
+    Telemetry.Registry.Counter.incr t.c_dropped;
     `Dropped
   end
   else begin
     Hashtbl.replace t.keys k ();
     Queue.add (k, m, now) t.queue;
+    Telemetry.Registry.Gauge.set t.g_pending (float_of_int (Queue.length t.queue));
     `Accepted
   end
 
@@ -50,4 +66,5 @@ let drain t =
   let events = Queue.fold (fun acc (k, m, _) -> (k, m) :: acc) [] t.queue in
   Queue.clear t.queue;
   Hashtbl.reset t.keys;
+  Telemetry.Registry.Gauge.set t.g_pending 0.;
   List.rev events

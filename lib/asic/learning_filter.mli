@@ -15,10 +15,13 @@
 
 type ('k, 'm) t
 
-val create : capacity:int -> timeout:float -> unit -> ('k, 'm) t
+val create :
+  ?metrics:Telemetry.Registry.t -> capacity:int -> timeout:float -> unit -> ('k, 'm) t
 (** [capacity] is the number of distinct pending events the filter can
     hold ("up to thousands"); [timeout] the notification deadline in
-    seconds. *)
+    seconds. [?metrics] is the registry the filter reports through:
+    [learning.offered] / [learning.dropped] counters and a
+    [learning.pending] gauge. *)
 
 val capacity : _ t -> int
 val timeout : _ t -> float

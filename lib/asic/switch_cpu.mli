@@ -13,7 +13,11 @@
 
 type t
 
-val create : insertions_per_sec:float -> t
+val create : ?metrics:Telemetry.Registry.t -> insertions_per_sec:float -> unit -> t
+(** [?metrics]: registry the CPU reports through — a [switch_cpu.work_items]
+    counter, a [switch_cpu.backlog_seconds] gauge and a
+    [switch_cpu.queue_delay] histogram of per-batch sojourn times
+    (backlog wait + service). A private registry is used when omitted. *)
 
 val insertions_per_sec : t -> float
 
@@ -26,3 +30,6 @@ val busy_until : t -> float
 (** Time at which all currently-queued work completes. *)
 
 val total_items : t -> int
+
+val queue_delay : t -> Telemetry.Histogram.t
+(** The sojourn-time histogram (same object the registry snapshots). *)

@@ -34,11 +34,14 @@ type state = {
   grace : float;
   policy : migrate_policy;
   vips : (Netcore.Endpoint.t, vip_state) Hashtbl.t;
-  mutable slb_packets : int;
-  mutable slb_bytes : int;
-  mutable switch_packets : int;
-  mutable switch_bytes : int;
-  mutable migrations : int;
+  metrics : Telemetry.Registry.t;
+  c_slb_packets : Telemetry.Registry.Counter.t;
+  c_slb_bytes : Telemetry.Registry.Counter.t;
+  c_switch_packets : Telemetry.Registry.Counter.t;
+  c_switch_bytes : Telemetry.Registry.Counter.t;
+  c_migrations : Telemetry.Registry.Counter.t;
+  c_lb_packets : Telemetry.Registry.Counter.t;
+  c_lb_dropped : Telemetry.Registry.Counter.t;
 }
 
 let get_vip state vip =
@@ -78,7 +81,7 @@ let migrate_back state vs =
   vs.switch_pool <- vs.slb_pool;
   Hashtbl.reset vs.conns;
   Hashtbl.reset vs.old_conns;
-  state.migrations <- state.migrations + 1
+  Telemetry.Registry.Counter.incr state.c_migrations
 
 let advance_vip state ~now vs =
   (* Execute pending updates whose grace period has elapsed. *)
@@ -108,17 +111,25 @@ let advance_vip state ~now vs =
 
 let advance state ~now = Hashtbl.iter (fun _ vs -> advance_vip state ~now vs) state.vips
 
+let account_outcome state (o : Lb.Balancer.outcome) =
+  (match o.Lb.Balancer.dip with
+   | Some _ -> Telemetry.Registry.Counter.incr state.c_lb_packets
+   | None -> Telemetry.Registry.Counter.incr state.c_lb_dropped);
+  o
+
 let process state ~now (pkt : Netcore.Packet.t) =
   let flow = pkt.Netcore.Packet.flow in
   let vip = flow.Netcore.Five_tuple.dst in
   match Hashtbl.find_opt state.vips vip with
-  | None -> { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+  | None -> account_outcome state { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
   | Some vs ->
     advance_vip state ~now vs;
     if vs.at_slb || vs.pinned_to_slb then begin
-      state.slb_packets <- state.slb_packets + 1;
-      state.slb_bytes <- state.slb_bytes + Netcore.Packet.wire_size pkt;
-      let finish dip = { Lb.Balancer.dip; location = Lb.Balancer.Slb } in
+      Telemetry.Registry.Counter.incr state.c_slb_packets;
+      Telemetry.Registry.Counter.add state.c_slb_bytes (Netcore.Packet.wire_size pkt);
+      let finish dip =
+        account_outcome state { Lb.Balancer.dip; location = Lb.Balancer.Slb }
+      in
       match Hashtbl.find_opt vs.conns flow with
       | Some dip ->
         if Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags then begin
@@ -136,13 +147,13 @@ let process state ~now (pkt : Netcore.Packet.t) =
         end
     end
     else begin
-      state.switch_packets <- state.switch_packets + 1;
-      state.switch_bytes <- state.switch_bytes + Netcore.Packet.wire_size pkt;
+      Telemetry.Registry.Counter.incr state.c_switch_packets;
+      Telemetry.Registry.Counter.add state.c_switch_bytes (Netcore.Packet.wire_size pkt);
       if Lb.Dip_pool.is_empty vs.switch_pool then
-        { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+        account_outcome state { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
       else
         let dip = Lb.Dip_pool.select_flow ~seed:state.seed vs.switch_pool flow in
-        { Lb.Balancer.dip = Some dip; location = Lb.Balancer.Asic }
+        account_outcome state { Lb.Balancer.dip = Some dip; location = Lb.Balancer.Asic }
     end
 
 let update state ~now ~vip u =
@@ -169,18 +180,22 @@ let update state ~now ~vip u =
   vs.pending <- vs.pending @ [ (exec_at, u) ]
   end
 
-let create ~seed ?(grace = 30.) ?switch_vip_budget ~policy ~vips () =
+let create ~seed ?metrics ?(grace = 30.) ?switch_vip_budget ~policy ~vips () =
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
   let state =
     {
       seed;
       grace;
       policy;
       vips = Hashtbl.create 16;
-      slb_packets = 0;
-      slb_bytes = 0;
-      switch_packets = 0;
-      switch_bytes = 0;
-      migrations = 0;
+      metrics = reg;
+      c_slb_packets = Telemetry.Registry.counter reg "duet.slb_packets";
+      c_slb_bytes = Telemetry.Registry.counter reg "duet.slb_bytes";
+      c_switch_packets = Telemetry.Registry.counter reg "duet.switch_packets";
+      c_switch_bytes = Telemetry.Registry.counter reg "duet.switch_bytes";
+      c_migrations = Telemetry.Registry.counter reg "duet.migrations";
+      c_lb_packets = Telemetry.Registry.counter reg "lb.packets";
+      c_lb_dropped = Telemetry.Registry.counter reg "lb.dropped_packets";
     }
   in
   List.iteri
@@ -205,15 +220,17 @@ let create ~seed ?(grace = 30.) ?switch_vip_budget ~policy ~vips () =
       update = (fun ~now ~vip u -> update state ~now ~vip u);
       connections =
         (fun () -> Hashtbl.fold (fun _ vs acc -> acc + Hashtbl.length vs.conns) state.vips 0);
+      metrics = (fun () -> state.metrics);
     }
   in
   let stats () =
+    let v = Telemetry.Registry.Counter.value in
     {
-      slb_packets = state.slb_packets;
-      slb_bytes = state.slb_bytes;
-      switch_packets = state.switch_packets;
-      switch_bytes = state.switch_bytes;
-      migrations = state.migrations;
+      slb_packets = v state.c_slb_packets;
+      slb_bytes = v state.c_slb_bytes;
+      switch_packets = v state.c_switch_packets;
+      switch_bytes = v state.c_switch_bytes;
+      migrations = v state.c_migrations;
     }
   in
   (balancer, stats)

@@ -35,6 +35,7 @@ type stats = {
 
 val create :
   seed:int ->
+  ?metrics:Telemetry.Registry.t ->
   ?grace:float ->
   ?switch_vip_budget:int ->
   policy:migrate_policy ->

@@ -6,10 +6,13 @@
     PCC is violated for roughly [(n-1)/n] of the flows whose hash moves.
     Used as the lower bound in the PCC experiments. *)
 
-val create : seed:int -> Lb.Balancer.t
+val create : ?metrics:Telemetry.Registry.t -> seed:int -> unit -> Lb.Balancer.t
 (** An empty balancer; VIPs are created implicitly by the first update
     ([Dip_add]) targeting them. *)
 
 val create_with :
-  seed:int -> (Netcore.Endpoint.t * Lb.Dip_pool.t) list -> Lb.Balancer.t
+  ?metrics:Telemetry.Registry.t ->
+  seed:int ->
+  (Netcore.Endpoint.t * Lb.Dip_pool.t) list ->
+  Lb.Balancer.t
 (** A balancer with pre-populated VIPs. *)

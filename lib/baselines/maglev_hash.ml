@@ -9,7 +9,7 @@ let is_prime n =
     let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
     go 2
 
-let create ?(table_size = 65537) backends =
+let create ?metrics ?(table_size = 65537) backends =
   if backends = [] then invalid_arg "Maglev_hash.create: no backends";
   if not (is_prime table_size) then invalid_arg "Maglev_hash.create: table size must be prime";
   if List.length backends >= table_size then
@@ -30,11 +30,13 @@ let create ?(table_size = 65537) backends =
   let next = Array.make n 0 in
   let table = Array.make m (-1) in
   let filled = ref 0 in
+  let probes = ref 0 in
   (* Round-robin: each backend claims its next preferred empty slot. *)
   while !filled < m do
     for i = 0 to n - 1 do
       if !filled < m then begin
         let rec claim () =
+          incr probes;
           let c = (offsets.(i) + (next.(i) * skips.(i))) mod m in
           next.(i) <- next.(i) + 1;
           if table.(c) < 0 then begin
@@ -47,6 +49,20 @@ let create ?(table_size = 65537) backends =
       end
     done
   done;
+  (match metrics with
+   | None -> ()
+   | Some reg ->
+     Telemetry.Registry.Gauge.set
+       (Telemetry.Registry.gauge reg "maglev.table_size")
+       (float_of_int m);
+     Telemetry.Registry.Gauge.set
+       (Telemetry.Registry.gauge reg "maglev.backends")
+       (float_of_int n);
+     (* permutation probes the build needed — the paper's O(M log M)
+        expectation, so a useful regression canary *)
+     Telemetry.Registry.Counter.add
+       (Telemetry.Registry.counter reg "maglev.build_probes")
+       !probes);
   { table = Array.map (fun i -> backends_arr.(i)) table; backends }
 
 let lookup t h = t.table.(Netcore.Hashing.to_range h (Array.length t.table))

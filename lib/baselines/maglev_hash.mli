@@ -10,7 +10,8 @@
 
 type t
 
-val create : ?table_size:int -> Netcore.Endpoint.t list -> t
+val create :
+  ?metrics:Telemetry.Registry.t -> ?table_size:int -> Netcore.Endpoint.t list -> t
 (** [table_size] must be a prime larger than the number of backends
     (default 65537). Raises [Invalid_argument] on an empty backend list
     or a non-prime size. *)

@@ -10,10 +10,14 @@ type state = {
   capacity_pps : float;
   vips : (Netcore.Endpoint.t, Lb.Dip_pool.t) Hashtbl.t;
   conns : (Netcore.Five_tuple.t, Netcore.Endpoint.t) Hashtbl.t;
-  mutable packets : int;
-  mutable bytes : int;
-  mutable connections_created : int;
-  mutable overload_drops : int;
+  metrics : Telemetry.Registry.t;
+  c_packets : Telemetry.Registry.Counter.t;  (** packets processed (fast + drops-to-None) *)
+  c_bytes : Telemetry.Registry.Counter.t;
+  c_conns_created : Telemetry.Registry.Counter.t;
+  c_overload_drops : Telemetry.Registry.Counter.t;
+  c_lb_packets : Telemetry.Registry.Counter.t;
+  c_lb_dropped : Telemetry.Registry.Counter.t;
+  g_conns : Telemetry.Registry.Gauge.t;
   (* token bucket over processing capacity: one token per packet *)
   mutable tokens : float;
   mutable last_refill : float;
@@ -38,14 +42,21 @@ let over_capacity state ~now =
 
 let process state ~now (pkt : Netcore.Packet.t) =
   if over_capacity state ~now then begin
-    state.overload_drops <- state.overload_drops + 1;
+    Telemetry.Registry.Counter.incr state.c_overload_drops;
+    Telemetry.Registry.Counter.incr state.c_lb_dropped;
     { Lb.Balancer.dip = None; location = Lb.Balancer.Slb }
   end
   else begin
-  state.packets <- state.packets + 1;
-  state.bytes <- state.bytes + Netcore.Packet.wire_size pkt;
+  Telemetry.Registry.Counter.incr state.c_packets;
+  Telemetry.Registry.Counter.add state.c_bytes (Netcore.Packet.wire_size pkt);
   let flow = pkt.Netcore.Packet.flow in
-  let finish dip = { Lb.Balancer.dip; location = Lb.Balancer.Slb } in
+  let finish dip =
+    (match dip with
+     | Some _ -> Telemetry.Registry.Counter.incr state.c_lb_packets
+     | None -> Telemetry.Registry.Counter.incr state.c_lb_dropped);
+    Telemetry.Registry.Gauge.set state.g_conns (float_of_int (Hashtbl.length state.conns));
+    { Lb.Balancer.dip; location = Lb.Balancer.Slb }
+  in
   match Hashtbl.find_opt state.conns flow with
   | Some dip ->
     if Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags then
@@ -62,7 +73,7 @@ let process state ~now (pkt : Netcore.Packet.t) =
             entry is visible to the very next packet. *)
          if not (Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags) then begin
            Hashtbl.replace state.conns flow dip;
-           state.connections_created <- state.connections_created + 1
+           Telemetry.Registry.Counter.incr state.c_conns_created
          end;
          finish (Some dip)
        end)
@@ -76,17 +87,22 @@ let update state ~now:_ ~vip u =
   in
   Hashtbl.replace state.vips vip (Lb.Balancer.apply_update pool u)
 
-let create ~seed ?(capacity_pps = infinity) ?(vips = []) () =
+let create ~seed ?metrics ?(capacity_pps = infinity) ?(vips = []) () =
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
   let state =
     {
       seed;
       capacity_pps;
       vips = Hashtbl.create 16;
       conns = Hashtbl.create 4096;
-      packets = 0;
-      bytes = 0;
-      connections_created = 0;
-      overload_drops = 0;
+      metrics = reg;
+      c_packets = Telemetry.Registry.counter reg "slb.packets";
+      c_bytes = Telemetry.Registry.counter reg "slb.bytes";
+      c_conns_created = Telemetry.Registry.counter reg "slb.connections_created";
+      c_overload_drops = Telemetry.Registry.counter reg "slb.overload_drops";
+      c_lb_packets = Telemetry.Registry.counter reg "lb.packets";
+      c_lb_dropped = Telemetry.Registry.counter reg "lb.dropped_packets";
+      g_conns = Telemetry.Registry.gauge reg "slb.connections";
       tokens = (if capacity_pps = infinity then 0. else capacity_pps /. 100.);
       last_refill = 0.;
     }
@@ -99,14 +115,16 @@ let create ~seed ?(capacity_pps = infinity) ?(vips = []) () =
       process = process state;
       update = update state;
       connections = (fun () -> Hashtbl.length state.conns);
+      metrics = (fun () -> state.metrics);
     }
   in
   let stats () =
+    let v = Telemetry.Registry.Counter.value in
     {
-      packets = state.packets;
-      bytes = state.bytes;
-      connections_created = state.connections_created;
-      overload_drops = state.overload_drops;
+      packets = v state.c_packets;
+      bytes = v state.c_bytes;
+      connections_created = v state.c_conns_created;
+      overload_drops = v state.c_overload_drops;
     }
   in
   (balancer, stats)

@@ -12,6 +12,7 @@ type result = {
   slb_traffic_fraction : float;
   latency_median : float;
   latency_p99 : float;
+  telemetry : Telemetry.Snapshot.t;
 }
 
 (* sub-microsecond pipeline latency (§5.2: "full line-rate load
@@ -29,13 +30,44 @@ type acc = {
   balancer : Lb.Balancer.t;
   pcc : Lb.Pcc.t;
   lat_rng : Simnet.Prng.t;
-  mutable latencies : float list;
-  mutable packets : int;
-  mutable dropped : int;
-  mutable asic_bytes : float;
-  mutable cpu_bytes : float;
-  mutable slb_bytes : float;
+  metrics : Telemetry.Registry.t;
+  (* streaming latency histograms replace the old per-packet list: the
+     driver's footprint no longer grows with the probe count *)
+  h_latency : Telemetry.Histogram.t;
+  h_lat_asic : Telemetry.Histogram.t;
+  h_lat_cpu : Telemetry.Histogram.t;
+  h_lat_slb : Telemetry.Histogram.t;
+  c_packets : Telemetry.Registry.Counter.t;
+  c_dropped : Telemetry.Registry.Counter.t;
+  g_asic_bytes : Telemetry.Registry.Gauge.t;
+  g_cpu_bytes : Telemetry.Registry.Gauge.t;
+  g_slb_bytes : Telemetry.Registry.Gauge.t;
 }
+
+let make_acc balancer =
+  let reg = Telemetry.Registry.create () in
+  let lat where =
+    Telemetry.Registry.histogram reg ~labels:[ ("location", where) ] "driver.latency"
+  in
+  {
+    balancer;
+    pcc = Lb.Pcc.create ();
+    lat_rng = Simnet.Prng.create ~seed:0x1a7;
+    metrics = reg;
+    h_latency = Telemetry.Registry.histogram reg "driver.latency";
+    h_lat_asic = lat "asic";
+    h_lat_cpu = lat "switch-cpu";
+    h_lat_slb = lat "slb";
+    c_packets = Telemetry.Registry.counter reg "driver.packets";
+    c_dropped = Telemetry.Registry.counter reg "driver.dropped_packets";
+    g_asic_bytes = Telemetry.Registry.gauge reg "driver.asic_bytes";
+    g_cpu_bytes = Telemetry.Registry.gauge reg "driver.cpu_bytes";
+    g_slb_bytes = Telemetry.Registry.gauge reg "driver.slb_bytes";
+  }
+
+let observe_latency acc per_location v =
+  Telemetry.Histogram.observe acc.h_latency v;
+  Telemetry.Histogram.observe per_location v
 
 (* One probe of [flow] at [at], carrying the traffic volume of the
    [weight_dt] seconds preceding it. *)
@@ -44,19 +76,19 @@ let probe acc ~flags ~weight_dt (flow : Simnet.Flow.t) at sim =
   let pkt = Netcore.Packet.make ~flags ~payload_len:1024 flow.Simnet.Flow.tuple in
   acc.balancer.Lb.Balancer.advance ~now:at;
   let outcome = acc.balancer.Lb.Balancer.process ~now:at pkt in
-  acc.packets <- acc.packets + 1;
+  Telemetry.Registry.Counter.incr acc.c_packets;
   let bytes = flow.Simnet.Flow.bytes_per_sec *. Float.max weight_dt 1e-4 in
   (match outcome.Lb.Balancer.location with
    | Lb.Balancer.Asic ->
-     acc.asic_bytes <- acc.asic_bytes +. bytes;
-     acc.latencies <- asic_latency :: acc.latencies
+     Telemetry.Registry.Gauge.add acc.g_asic_bytes bytes;
+     observe_latency acc acc.h_lat_asic asic_latency
    | Lb.Balancer.Switch_cpu ->
-     acc.cpu_bytes <- acc.cpu_bytes +. bytes;
-     acc.latencies <- Simnet.Dist.sample cpu_latency acc.lat_rng :: acc.latencies
+     Telemetry.Registry.Gauge.add acc.g_cpu_bytes bytes;
+     observe_latency acc acc.h_lat_cpu (Simnet.Dist.sample cpu_latency acc.lat_rng)
    | Lb.Balancer.Slb ->
-     acc.slb_bytes <- acc.slb_bytes +. bytes;
-     acc.latencies <- Simnet.Dist.sample slb_latency acc.lat_rng :: acc.latencies);
-  if outcome.Lb.Balancer.dip = None then acc.dropped <- acc.dropped + 1;
+     Telemetry.Registry.Gauge.add acc.g_slb_bytes bytes;
+     observe_latency acc acc.h_lat_slb (Simnet.Dist.sample slb_latency acc.lat_rng));
+  if outcome.Lb.Balancer.dip = None then Telemetry.Registry.Counter.incr acc.c_dropped;
   Lb.Pcc.on_packet acc.pcc ~flow_id:flow.Simnet.Flow.id ~dip:outcome.Lb.Balancer.dip;
   if Netcore.Tcp_flags.is_connection_end flags then
     Lb.Pcc.on_finish acc.pcc ~flow_id:flow.Simnet.Flow.id
@@ -105,19 +137,7 @@ let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet
 let run ?(early_offsets = default_early) ?(probe_interval = 15.) ~balancer ~flows ~updates
     ~horizon () =
   let sim = Simnet.Sim.create () in
-  let acc =
-    {
-      balancer;
-      pcc = Lb.Pcc.create ();
-      lat_rng = Simnet.Prng.create ~seed:0x1a7;
-      latencies = [];
-      packets = 0;
-      dropped = 0;
-      asic_bytes = 0.;
-      cpu_bytes = 0.;
-      slb_bytes = 0.;
-    }
-  in
+  let acc = make_acc balancer in
   List.iter (fun flow -> schedule_flow acc ~early_offsets ~probe_interval ~horizon sim flow) flows;
   List.iter
     (fun (at, vip, u) ->
@@ -135,21 +155,30 @@ let run ?(early_offsets = default_early) ?(probe_interval = 15.) ~balancer ~flow
     updates;
   Simnet.Sim.run sim ~until:horizon;
   balancer.Lb.Balancer.advance ~now:horizon;
-  let total_bytes = acc.asic_bytes +. acc.cpu_bytes +. acc.slb_bytes in
+  let asic_bytes = Telemetry.Registry.Gauge.value acc.g_asic_bytes in
+  let cpu_bytes = Telemetry.Registry.Gauge.value acc.g_cpu_bytes in
+  let slb_bytes = Telemetry.Registry.Gauge.value acc.g_slb_bytes in
+  let total_bytes = asic_bytes +. cpu_bytes +. slb_bytes in
+  (* one combined snapshot: the driver's own metrics plus everything the
+     balancer reports (merged, so neither registry is mutated) *)
+  let combined = Telemetry.Registry.create () in
+  Telemetry.Registry.merge_into ~into:combined acc.metrics;
+  Telemetry.Registry.merge_into ~into:combined (balancer.Lb.Balancer.metrics ());
   {
     balancer_name = balancer.Lb.Balancer.name;
     connections = Lb.Pcc.total acc.pcc;
     broken_connections = Lb.Pcc.broken acc.pcc;
     broken_fraction = Lb.Pcc.broken_fraction acc.pcc;
     violation_packets = Lb.Pcc.violations acc.pcc;
-    packets = acc.packets;
-    dropped_packets = acc.dropped;
-    asic_bytes = acc.asic_bytes;
-    cpu_bytes = acc.cpu_bytes;
-    slb_bytes = acc.slb_bytes;
-    slb_traffic_fraction = (if total_bytes > 0. then acc.slb_bytes /. total_bytes else 0.);
-    latency_median = (if acc.latencies = [] then 0. else Simnet.Stats.median acc.latencies);
-    latency_p99 = (if acc.latencies = [] then 0. else Simnet.Stats.p99 acc.latencies);
+    packets = Telemetry.Registry.Counter.value acc.c_packets;
+    dropped_packets = Telemetry.Registry.Counter.value acc.c_dropped;
+    asic_bytes;
+    cpu_bytes;
+    slb_bytes;
+    slb_traffic_fraction = (if total_bytes > 0. then slb_bytes /. total_bytes else 0.);
+    latency_median = Simnet.Stats.median_of_histogram acc.h_latency;
+    latency_p99 = Simnet.Stats.p99_of_histogram acc.h_latency;
+    telemetry = Telemetry.Registry.snapshot combined;
   }
 
 let pp_result ppf r =

@@ -25,6 +25,13 @@ type result = {
   slb_traffic_fraction : float;  (** SLB bytes / total bytes — Figure 5a *)
   latency_median : float;  (** load-balancer-added latency (seconds) *)
   latency_p99 : float;
+  telemetry : Telemetry.Snapshot.t;
+      (** everything the run measured, machine-readable: the driver's own
+          [driver.*] metrics (including the [driver.latency] histograms,
+          overall and per handling location) merged with the balancer's
+          registry. [latency_median] / [latency_p99] are read from the
+          same histograms — the driver keeps no per-packet lists, so its
+          memory footprint is independent of the probe count. *)
 }
 
 (** Per-packet latency added by the component that handled it, sampled

@@ -22,6 +22,7 @@ type t = {
   process : now:float -> Netcore.Packet.t -> outcome;
   update : now:float -> vip:Netcore.Endpoint.t -> update -> unit;
   connections : unit -> int;
+  metrics : unit -> Telemetry.Registry.t;
 }
 
 let pp_location ppf l =

@@ -34,6 +34,12 @@ type t = {
   process : now:float -> Netcore.Packet.t -> outcome;
   update : now:float -> vip:Netcore.Endpoint.t -> update -> unit;
   connections : unit -> int;  (** connection-table entries currently held *)
+  metrics : unit -> Telemetry.Registry.t;
+      (** the balancer's telemetry registry. Every implementation exposes
+          at least the uniform [lb.packets] / [lb.dropped_packets]
+          counters, plus its own implementation-specific metrics. A thunk
+          so aggregates (e.g. a switch group) can merge member registries
+          at snapshot time. *)
 }
 
 val pp_location : Format.formatter -> location -> unit

@@ -14,8 +14,10 @@ type t = {
      of new entries is vetoed at positions that would shadow a tracked
      connection. *)
   probe_index : (int * int * int, Netcore.Five_tuple.t list ref) Hashtbl.t;
-  mutable false_hits : int;
-  mutable repairs : int;
+  c_false_hits : Telemetry.Registry.Counter.t;
+  c_repairs : Telemetry.Registry.Counter.t;
+  g_size : Telemetry.Registry.Gauge.t;
+  g_occupancy : Telemetry.Registry.Gauge.t;
 }
 
 type lookup_result = {
@@ -51,7 +53,8 @@ let placement_safe t k ~stage ~row =
      | None -> true)
   | Some _ | None -> true
 
-let create (cfg : Config.t) =
+let create ?metrics (cfg : Config.t) =
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
   let t =
     {
       table =
@@ -61,8 +64,10 @@ let create (cfg : Config.t) =
       digest_bits = cfg.Config.digest_bits;
       version_bits = cfg.Config.version_bits;
       probe_index = Hashtbl.create 4096;
-      false_hits = 0;
-      repairs = 0;
+      c_false_hits = Telemetry.Registry.counter reg "conn_table.false_hits";
+      c_repairs = Telemetry.Registry.counter reg "conn_table.repairs";
+      g_size = Telemetry.Registry.gauge reg "conn_table.size";
+      g_occupancy = Telemetry.Registry.gauge reg "conn_table.occupancy";
     }
   in
   Table.set_placement_filter t.table
@@ -73,11 +78,15 @@ let capacity t = Table.capacity t.table
 let size t = Table.size t.table
 let occupancy t = Table.occupancy t.table
 
+let track_size t =
+  Telemetry.Registry.Gauge.set t.g_size (float_of_int (Table.size t.table));
+  Telemetry.Registry.Gauge.set t.g_occupancy (Table.occupancy t.table)
+
 let lookup t flow =
   match Table.lookup t.table flow with
   | None -> None
   | Some hit ->
-    if not hit.Table.exact then t.false_hits <- t.false_hits + 1;
+    if not hit.Table.exact then Telemetry.Registry.Counter.incr t.c_false_hits;
     Some { version = hit.Table.value; exact = hit.Table.exact }
 
 let mem_exact t flow = Table.mem_exact t.table flow
@@ -86,12 +95,14 @@ let insert t flow ~version =
   match Table.insert t.table flow version with
   | Ok moves ->
     register t flow;
+    track_size t;
     Ok moves
   | (Error (`Full | `Duplicate)) as e -> e
 
 let remove t flow =
   if Table.remove t.table flow then begin
     unregister t flow;
+    track_size t;
     true
   end
   else false
@@ -140,7 +151,8 @@ let repair_collision t flow ~version =
              let stale = List.filter (fun k -> not (exact_hit k)) residents in
              (match stale with
               | [] ->
-                t.repairs <- t.repairs + 1;
+                Telemetry.Registry.Counter.incr t.c_repairs;
+                track_size t;
                 (* the raw table insert above bypassed [insert]: (re)index
                    the newcomer exactly once *)
                 unregister t flow;
@@ -163,8 +175,8 @@ let repair_collision t flow ~version =
   in
   attempt [] 0 []
 
-let false_hits t = t.false_hits
-let repairs t = t.repairs
+let false_hits t = Telemetry.Registry.Counter.value t.c_false_hits
+let repairs t = Telemetry.Registry.Counter.value t.c_repairs
 let moves t = Table.moves t.table
 let failed_inserts t = Table.failed_inserts t.table
 

@@ -18,7 +18,11 @@ type lookup_result = {
   exact : bool;  (** false when the hit is a digest false positive *)
 }
 
-val create : Config.t -> t
+val create : ?metrics:Telemetry.Registry.t -> Config.t -> t
+(** [?metrics] is the registry the table reports through:
+    [conn_table.false_hits] / [conn_table.repairs] counters and
+    [conn_table.size] / [conn_table.occupancy] gauges. The dedicated
+    accessors below read the same counters. *)
 
 val capacity : t -> int
 val size : t -> int

@@ -36,11 +36,19 @@ type t = {
   (* connections spilled to the SLB by the overflow rule: they must stay
      there for life even if occupancy later drops *)
   spilled : (Netcore.Five_tuple.t, unit) Hashtbl.t;
-  mutable spill_count : int;
+  metrics : Telemetry.Registry.t;
+  c_spilled : Telemetry.Registry.Counter.t;
+  (* soft-path packets bypass the switch, so the hybrid bumps the shared
+     lb.* counters itself to keep the uniform pair accurate *)
+  c_lb_packets : Telemetry.Registry.Counter.t;
+  c_lb_dropped : Telemetry.Registry.Counter.t;
+  g_slb_conns : Telemetry.Registry.Gauge.t;
 }
 
-let create ?(cfg = Config.default) ?(overflow_threshold = 0.95) ?(slb_vips = []) ~seed ~vips () =
-  let sw = Switch.create cfg in
+let create ?metrics ?(cfg = Config.default) ?(overflow_threshold = 0.95) ?(slb_vips = [])
+    ~seed ~vips () =
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
+  let sw = Switch.create ~metrics:reg cfg in
   let slb =
     { soft_seed = seed; soft_vips = Hashtbl.create 16; soft_conns = Hashtbl.create 1024 }
   in
@@ -51,9 +59,29 @@ let create ?(cfg = Config.default) ?(overflow_threshold = 0.95) ?(slb_vips = [])
       Hashtbl.replace slb.soft_vips v pool;
       if not (Hashtbl.mem pinned v) then Switch.add_vip sw v pool)
     vips;
-  { sw; slb; overflow_threshold; pinned; spilled = Hashtbl.create 1024; spill_count = 0 }
+  {
+    sw;
+    slb;
+    overflow_threshold;
+    pinned;
+    spilled = Hashtbl.create 1024;
+    metrics = reg;
+    c_spilled = Telemetry.Registry.counter reg "hybrid.spilled";
+    c_lb_packets = Telemetry.Registry.counter reg "lb.packets";
+    c_lb_dropped = Telemetry.Registry.counter reg "lb.dropped_packets";
+    g_slb_conns = Telemetry.Registry.gauge reg "hybrid.slb_connections";
+  }
 
 let switch t = t.sw
+
+let soft_forward t pkt =
+  let outcome = soft_process t.slb pkt in
+  (match outcome.Lb.Balancer.dip with
+   | Some _ -> Telemetry.Registry.Counter.incr t.c_lb_packets
+   | None -> Telemetry.Registry.Counter.incr t.c_lb_dropped);
+  Telemetry.Registry.Gauge.set t.g_slb_conns
+    (float_of_int (Hashtbl.length t.slb.soft_conns));
+  outcome
 
 let process t ~now pkt =
   let flow = pkt.Netcore.Packet.flow in
@@ -63,7 +91,7 @@ let process t ~now pkt =
       Hashtbl.mem t.spilled flow
       && Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags
     then Hashtbl.remove t.spilled flow;
-    soft_process t.slb pkt
+    soft_forward t pkt
   end
   else if
     (* overflow rule: a connection UNKNOWN to the switch arriving while
@@ -72,8 +100,8 @@ let process t ~now pkt =
     && Conn_table.occupancy (Switch.conn_table t.sw) >= t.overflow_threshold
   then begin
     Hashtbl.replace t.spilled flow ();
-    t.spill_count <- t.spill_count + 1;
-    soft_process t.slb pkt
+    Telemetry.Registry.Counter.incr t.c_spilled;
+    soft_forward t pkt
   end
   else Switch.process t.sw ~now pkt
 
@@ -91,7 +119,8 @@ let balancer t =
     process = (fun ~now pkt -> process t ~now pkt);
     update = (fun ~now ~vip u -> update t ~now ~vip u);
     connections = (fun () -> Switch.connections t.sw + Hashtbl.length t.slb.soft_conns);
+    metrics = (fun () -> t.metrics);
   }
 
-let spilled_connections t = t.spill_count
+let spilled_connections t = Telemetry.Registry.Counter.value t.c_spilled
 let slb_connections t = Hashtbl.length t.slb.soft_conns

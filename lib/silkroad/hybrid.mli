@@ -18,6 +18,7 @@
 type t
 
 val create :
+  ?metrics:Telemetry.Registry.t ->
   ?cfg:Config.t ->
   ?overflow_threshold:float ->
   ?slb_vips:Netcore.Endpoint.t list ->

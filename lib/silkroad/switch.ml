@@ -26,6 +26,9 @@ type update_job = {
 type cpu_work =
   | Insert_batch of Netcore.Five_tuple.t list
   | Delete_batch of Netcore.Five_tuple.t list
+  | Repair_batch of Netcore.Five_tuple.t list
+      (** collision repairs already applied to the table; completion
+          accounts the CPU time so the backlog is observable *)
 
 type stats = {
   asic_packets : int;
@@ -60,18 +63,26 @@ type t = {
   jobs : (Netcore.Endpoint.t, update_job) Hashtbl.t;  (** active job per VIP *)
   job_queue : (Netcore.Endpoint.t, Lb.Balancer.update Queue.t) Hashtbl.t;
   mutable clock : float;  (** latest time the control plane has seen *)
-  (* counters *)
-  mutable asic_packets : int;
-  mutable cpu_packets : int;
-  mutable dropped_packets : int;
-  mutable connections_seen : int;
-  mutable learning_drops : int;
-  mutable table_full_drops : int;
-  mutable updates_completed : int;
-  mutable updates_failed : int;
-  mutable transit_clears : int;
-  mutable forced_transitions : int;
-  mutable metered_drops : int;
+  (* telemetry: one registry owns every counter/gauge/histogram of this
+     switch and its ASIC primitives; the handles below are cached so the
+     data plane pays one int-ref bump per event, same as a mutable field *)
+  metrics : Telemetry.Registry.t;
+  c_asic_packets : Telemetry.Registry.Counter.t;
+  c_cpu_packets : Telemetry.Registry.Counter.t;
+  c_dropped_packets : Telemetry.Registry.Counter.t;
+  c_connections_seen : Telemetry.Registry.Counter.t;
+  c_learning_drops : Telemetry.Registry.Counter.t;
+  c_table_full_drops : Telemetry.Registry.Counter.t;
+  c_updates_completed : Telemetry.Registry.Counter.t;
+  c_updates_failed : Telemetry.Registry.Counter.t;
+  c_transit_clears : Telemetry.Registry.Counter.t;
+  c_forced_transitions : Telemetry.Registry.Counter.t;
+  c_metered_drops : Telemetry.Registry.Counter.t;
+  c_repairs_completed : Telemetry.Registry.Counter.t;
+  (* the uniform per-balancer pair every Lb.Balancer.t registry exposes *)
+  c_lb_packets : Telemetry.Registry.Counter.t;
+  c_lb_dropped : Telemetry.Registry.Counter.t;
+  g_tracked_flows : Telemetry.Registry.Gauge.t;
 }
 
 let src = Logs.Src.create "silkroad.switch" ~doc:"SilkRoad switch control plane"
@@ -84,22 +95,26 @@ module Log = (val Logs.src_log src : Logs.LOG)
    — always 0 in a healthy configuration. *)
 let barrier_deadline = 5.
 
-let create cfg =
+let create ?metrics cfg =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Switch.create: " ^ msg));
+  let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
+  let counter = Telemetry.Registry.counter reg in
   {
     cfg;
-    conns = Conn_table.create cfg;
+    conns = Conn_table.create ~metrics:reg cfg;
     pools = Dip_pool_table.create ~version_bits:cfg.Config.version_bits ~seed:cfg.Config.seed;
     vips = Vip_table.create ();
     transit =
-      Asic.Bloom_filter.create ~seed:cfg.Config.seed ~bits:(cfg.Config.transit_bytes * 8)
-        ~hashes:cfg.Config.transit_hashes ();
+      Asic.Bloom_filter.create ~seed:cfg.Config.seed ~metrics:reg
+        ~bits:(cfg.Config.transit_bytes * 8) ~hashes:cfg.Config.transit_hashes ();
     learning =
-      Asic.Learning_filter.create ~capacity:cfg.Config.learning_capacity
+      Asic.Learning_filter.create ~metrics:reg ~capacity:cfg.Config.learning_capacity
         ~timeout:cfg.Config.learning_timeout ();
-    cpu = Asic.Switch_cpu.create ~insertions_per_sec:cfg.Config.cpu_insertions_per_sec;
+    cpu =
+      Asic.Switch_cpu.create ~metrics:reg
+        ~insertions_per_sec:cfg.Config.cpu_insertions_per_sec ();
     cpu_done = Queue.create ();
     flows = Hashtbl.create 4096;
     aging =
@@ -108,17 +123,22 @@ let create cfg =
     jobs = Hashtbl.create 16;
     job_queue = Hashtbl.create 16;
     clock = 0.;
-    asic_packets = 0;
-    cpu_packets = 0;
-    dropped_packets = 0;
-    connections_seen = 0;
-    learning_drops = 0;
-    table_full_drops = 0;
-    updates_completed = 0;
-    updates_failed = 0;
-    transit_clears = 0;
-    forced_transitions = 0;
-    metered_drops = 0;
+    metrics = reg;
+    c_asic_packets = counter "switch.asic_packets";
+    c_cpu_packets = counter "switch.cpu_packets";
+    c_dropped_packets = counter "switch.dropped_packets";
+    c_connections_seen = counter "switch.connections_seen";
+    c_learning_drops = counter "switch.learning_drops";
+    c_table_full_drops = counter "switch.table_full_drops";
+    c_updates_completed = counter "switch.updates_completed";
+    c_updates_failed = counter "switch.updates_failed";
+    c_transit_clears = counter "switch.transit_clears";
+    c_forced_transitions = counter "switch.forced_transitions";
+    c_metered_drops = counter "switch.metered_drops";
+    c_repairs_completed = counter "switch.repairs_completed";
+    c_lb_packets = counter "lb.packets";
+    c_lb_dropped = counter "lb.dropped_packets";
+    g_tracked_flows = Telemetry.Registry.gauge reg "switch.tracked_flows";
   }
 
 let config t = t.cfg
@@ -142,7 +162,7 @@ let current_version t vip =
 let clear_transit_if_idle t =
   if Vip_table.updating_count t.vips = 0 && Asic.Bloom_filter.population t.transit > 0 then begin
     Asic.Bloom_filter.clear t.transit;
-    t.transit_clears <- t.transit_clears + 1
+    Telemetry.Registry.Counter.incr t.c_transit_clears
   end
 
 let rec start_next_queued t ~now vip =
@@ -159,7 +179,13 @@ and finish_job t ~now job =
         Netcore.Endpoint.pp job.job_vip now job.started);
   Vip_table.finish t.vips job.job_vip;
   Hashtbl.remove t.jobs job.job_vip;
-  t.updates_completed <- t.updates_completed + 1;
+  Telemetry.Registry.Counter.incr t.c_updates_completed;
+  (* per-VIP scope: update churn is the figure-2 axis, so keep it
+     attributable (update completion is rare enough for a name lookup) *)
+  Telemetry.Registry.Counter.incr
+    (Telemetry.Registry.counter t.metrics
+       ~labels:[ ("vip", Format.asprintf "%a" Netcore.Endpoint.pp job.job_vip) ]
+       "switch.vip.updates_completed");
   Dip_pool_table.gc t.pools ~vip:job.job_vip ~current:(current_version t job.job_vip);
   clear_transit_if_idle t;
   start_next_queued t ~now job.job_vip
@@ -185,7 +211,7 @@ and execute_job t ~now job =
             | `Bad_update msg -> msg));
      Vip_table.cancel_recording t.vips vip;
      Hashtbl.remove t.jobs vip;
-     t.updates_failed <- t.updates_failed + 1;
+     Telemetry.Registry.Counter.incr t.c_updates_failed;
      clear_transit_if_idle t;
      start_next_queued t ~now vip)
 
@@ -268,7 +294,7 @@ let complete_cpu_work t ~now =
                   | Ok _ -> st.inserted <- true
                   | Error `Duplicate -> st.inserted <- true
                   | Error `Full ->
-                    t.table_full_drops <- t.table_full_drops + 1;
+                    Telemetry.Registry.Counter.incr t.c_table_full_drops;
                     Log.warn (fun m ->
                         m "ConnTable full (%.1f%%): connection left stateless"
                           (100. *. Conn_table.occupancy t.conns));
@@ -284,6 +310,12 @@ let complete_cpu_work t ~now =
              match Hashtbl.find_opt t.flows flow with
              | Some st -> destroy_state t flow st
              | None -> ())
+           flows
+       | Repair_batch flows ->
+         (* repairs were applied synchronously at submission; completion
+            only accounts the CPU time *)
+         List.iter
+           (fun _ -> Telemetry.Registry.Counter.incr t.c_repairs_completed)
            flows);
       go ()
     | Some _ | None -> ()
@@ -328,7 +360,7 @@ let release_stuck_barriers t ~now =
   Hashtbl.iter
     (fun _ job ->
       if now -. job.started > barrier_deadline && Hashtbl.length job.waiting > 0 then begin
-        t.forced_transitions <- t.forced_transitions + 1;
+        Telemetry.Registry.Counter.incr t.c_forced_transitions;
         Log.warn (fun m ->
             m "update barrier on %a stuck for %.1fs: force-releasing %d pending connections"
               Netcore.Endpoint.pp job.job_vip (now -. job.started)
@@ -356,23 +388,29 @@ let advance t ~now =
     drain_due ();
     complete_cpu_work t ~now;
     expire_idle t ~now;
-    release_stuck_barriers t ~now
+    release_stuck_barriers t ~now;
+    Telemetry.Registry.Gauge.set t.g_tracked_flows (float_of_int (Hashtbl.length t.flows))
   end
 
 (* ----- data plane ----- *)
 
 let outcome_drop = { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
 
+let drop t =
+  Telemetry.Registry.Counter.incr t.c_dropped_packets;
+  Telemetry.Registry.Counter.incr t.c_lb_dropped;
+  outcome_drop
+
 let forward t ~vip ~version flow ~location =
   match Dip_pool_table.select_dip t.pools ~vip ~version flow with
   | Some dip ->
+    Telemetry.Registry.Counter.incr t.c_lb_packets;
     (match location with
-     | Lb.Balancer.Asic -> t.asic_packets <- t.asic_packets + 1
-     | Lb.Balancer.Switch_cpu | Lb.Balancer.Slb -> t.cpu_packets <- t.cpu_packets + 1);
+     | Lb.Balancer.Asic -> Telemetry.Registry.Counter.incr t.c_asic_packets
+     | Lb.Balancer.Switch_cpu | Lb.Balancer.Slb ->
+       Telemetry.Registry.Counter.incr t.c_cpu_packets);
     { Lb.Balancer.dip = Some dip; location }
-  | None ->
-    t.dropped_packets <- t.dropped_packets + 1;
-    outcome_drop
+  | None -> drop t
 
 (* learning: raise an event for a connection whose entry is missing *)
 let learn t ~now flow (st : conn_state) =
@@ -383,7 +421,7 @@ let learn t ~now flow (st : conn_state) =
       if Asic.Learning_filter.pending t.learning >= Asic.Learning_filter.capacity t.learning
       then drain_learning t ~at:now
     | `Duplicate -> st.in_pipeline <- true
-    | `Dropped -> t.learning_drops <- t.learning_drops + 1
+    | `Dropped -> Telemetry.Registry.Counter.incr t.c_learning_drops
   end
 
 (* the version VIPTable + TransitTable assign to a ConnTable miss *)
@@ -439,7 +477,7 @@ let handle_miss t ~now pkt flow ~vip ~syn =
          (* first-and-last packet: nothing worth learning *)
          forward t ~vip ~version flow ~location
        else begin
-         t.connections_seen <- t.connections_seen + 1;
+         Telemetry.Registry.Counter.incr t.c_connections_seen;
          let st =
            {
              cs_vip = vip;
@@ -476,7 +514,7 @@ let handle_false_hit_syn t ~now pkt flow ~vip =
         st.last_seen <- now;
         st
       | None ->
-        t.connections_seen <- t.connections_seen + 1;
+        Telemetry.Registry.Counter.incr t.c_connections_seen;
         let st =
           {
             cs_vip = vip;
@@ -492,23 +530,23 @@ let handle_false_hit_syn t ~now pkt flow ~vip =
         Dip_pool_table.retain t.pools ~vip ~version;
         st
     in
-    (* account the CPU time of the repair (a handful of table moves) *)
-    ignore (Asic.Switch_cpu.submit t.cpu ~now ~work_items:3);
+    (* the repair itself is applied synchronously below, but its CPU time
+       goes through the shared FIFO so the backlog it causes is visible in
+       the queue-delay histogram and accounted at completion *)
+    let done_at = Asic.Switch_cpu.submit t.cpu ~now ~work_items:3 in
+    Queue.add (done_at, Repair_batch [ flow ]) t.cpu_done;
     (match Conn_table.repair_collision t.conns flow ~version:st.cs_version with
      | Ok () ->
        st.inserted <- true;
        barrier_resolved t ~now ~vip flow
-     | Error `Full -> t.table_full_drops <- t.table_full_drops + 1);
+     | Error `Full -> Telemetry.Registry.Counter.incr t.c_table_full_drops);
     forward t ~vip ~version:st.cs_version flow ~location:Lb.Balancer.Switch_cpu
 
 let process t ~now pkt =
   advance t ~now;
   let flow = pkt.Netcore.Packet.flow in
   let vip = flow.Netcore.Five_tuple.dst in
-  if not (Vip_table.mem t.vips vip) then begin
-    t.dropped_packets <- t.dropped_packets + 1;
-    outcome_drop
-  end
+  if not (Vip_table.mem t.vips vip) then drop t
   else if
     (* §5.2 performance isolation: the VIP's meter drops Red packets in
        the ASIC before any table is consulted *)
@@ -516,9 +554,12 @@ let process t ~now pkt =
     | Some m -> Asic.Meter.mark m ~now ~bytes:(Netcore.Packet.wire_size pkt) = Asic.Meter.Red
     | None -> false
   then begin
-    t.metered_drops <- t.metered_drops + 1;
-    t.dropped_packets <- t.dropped_packets + 1;
-    outcome_drop
+    Telemetry.Registry.Counter.incr t.c_metered_drops;
+    Telemetry.Registry.Counter.incr
+      (Telemetry.Registry.counter t.metrics
+         ~labels:[ ("vip", Format.asprintf "%a" Netcore.Endpoint.pp vip) ]
+         "switch.vip.metered_drops");
+    drop t
   end
   else begin
     let syn = Netcore.Tcp_flags.is_connection_start pkt.Netcore.Packet.flags in
@@ -565,7 +606,8 @@ let set_meter t ~vip ~cir ~cbs ~eir ~ebs =
 
 let clear_meter t ~vip = Hashtbl.remove t.meters vip
 
-let metered_drops t = t.metered_drops
+let metered_drops t = Telemetry.Registry.Counter.value t.c_metered_drops
+let metrics t = t.metrics
 
 let balancer t =
   {
@@ -574,22 +616,24 @@ let balancer t =
     process = (fun ~now pkt -> process t ~now pkt);
     update = (fun ~now ~vip u -> request_update t ~now ~vip u);
     connections = (fun () -> Conn_table.size t.conns);
+    metrics = (fun () -> t.metrics);
   }
 
 let stats t =
+  let v = Telemetry.Registry.Counter.value in
   {
-    asic_packets = t.asic_packets;
-    cpu_packets = t.cpu_packets;
-    dropped_packets = t.dropped_packets;
-    connections_seen = t.connections_seen;
+    asic_packets = v t.c_asic_packets;
+    cpu_packets = v t.c_cpu_packets;
+    dropped_packets = v t.c_dropped_packets;
+    connections_seen = v t.c_connections_seen;
     false_hits = Conn_table.false_hits t.conns;
     collision_repairs = Conn_table.repairs t.conns;
-    learning_drops = t.learning_drops;
-    table_full_drops = t.table_full_drops;
-    updates_completed = t.updates_completed;
-    updates_failed = t.updates_failed;
-    transit_clears = t.transit_clears;
-    forced_transitions = t.forced_transitions;
+    learning_drops = v t.c_learning_drops;
+    table_full_drops = v t.c_table_full_drops;
+    updates_completed = v t.c_updates_completed;
+    updates_failed = v t.c_updates_failed;
+    transit_clears = v t.c_transit_clears;
+    forced_transitions = v t.c_forced_transitions;
   }
 
 let connections t = Conn_table.size t.conns

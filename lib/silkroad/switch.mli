@@ -32,8 +32,20 @@
 
 type t
 
-val create : Config.t -> t
+val create : ?metrics:Telemetry.Registry.t -> Config.t -> t
+(** [?metrics] is the registry the switch and all its ASIC primitives
+    (ConnTable, TransitTable, learning filter, switch CPU) report
+    through; a private one is created when absent. See {!metrics}. *)
+
 val config : t -> Config.t
+
+val metrics : t -> Telemetry.Registry.t
+(** The switch's registry: [switch.*] counters mirroring {!stats},
+    [lb.packets] / [lb.dropped_packets], per-VIP labeled counters
+    ([switch.vip.updates_completed], [switch.vip.metered_drops]), the
+    [switch.tracked_flows] gauge, and every metric of the underlying
+    primitives ([conn_table.*], [bloom.*], [learning.*],
+    [switch_cpu.*] including the queue-delay histogram). *)
 
 val add_vip : t -> Netcore.Endpoint.t -> Lb.Dip_pool.t -> unit
 (** Register a VIP with its initial DIP pool. Raises [Invalid_argument]

@@ -59,4 +59,13 @@ let balancer t =
         Array.to_list t.switches
         |> List.mapi (fun i sw -> if t.up.(i) then Switch.connections sw else 0)
         |> List.fold_left ( + ) 0);
+    metrics =
+      (fun () ->
+        (* group view = member registries merged: counters sum,
+           histograms (same spec) merge bucket-wise *)
+        let reg = Telemetry.Registry.create () in
+        Array.iter
+          (fun sw -> Telemetry.Registry.merge_into ~into:reg (Switch.metrics sw))
+          t.switches;
+        reg);
   }

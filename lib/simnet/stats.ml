@@ -19,6 +19,16 @@ let percentile xs p =
 let median xs = percentile xs 50.
 let p99 xs = percentile xs 99.
 
+(* List-free counterparts on streaming histograms: constant memory, so
+   the harness can use them at any packet count. The list versions above
+   stay exact and are fine for small inputs. *)
+let percentile_of_histogram h p =
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile_of_histogram";
+  Telemetry.Histogram.quantile h (p /. 100.)
+
+let median_of_histogram h = Telemetry.Histogram.median h
+let p99_of_histogram h = Telemetry.Histogram.p99 h
+
 let cdf xs ~points =
   let n = float_of_int (List.length xs) in
   List.map

@@ -13,6 +13,20 @@ val percentile : float list -> float -> float
 val median : float list -> float
 val p99 : float list -> float
 
+(** List-free counterparts over streaming telemetry histograms — use
+    these when the sample count is unbounded (the harness driver feeds
+    every probe latency through one); the list versions above remain
+    exact for small inputs. Accuracy is the histogram's bucket width
+    (under 6% relative with {!Telemetry.Histogram.default_spec}). *)
+
+val percentile_of_histogram : Telemetry.Histogram.t -> float -> float
+(** [percentile_of_histogram h p] with [p] in [0, 100]. Returns [0.] on
+    an empty histogram; raises [Invalid_argument] on a [p] out of
+    range. *)
+
+val median_of_histogram : Telemetry.Histogram.t -> float
+val p99_of_histogram : Telemetry.Histogram.t -> float
+
 val cdf : float list -> points:float list -> (float * float) list
 (** [cdf xs ~points] evaluates the empirical CDF of [xs] at each point:
     fraction of samples <= point. *)

@@ -1,0 +1,54 @@
+(** A point-in-time, immutable view of a {!Registry}: the
+    machine-readable output every experiment and benchmark run emits.
+
+    Histograms appear as fixed summaries (count/sum/min/max and the
+    quantiles the paper's figures use) rather than raw buckets, so
+    snapshots from different runs are directly comparable rows. A
+    snapshot survives a JSON round-trip bit-exactly
+    ([of_json (to_json s) = Ok s]). *)
+
+type summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  p999 : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of summary
+
+type item = {
+  name : string;
+  labels : (string * string) list;  (** sorted by label key *)
+  value : value;
+}
+
+type t = item list
+
+val summarize : Histogram.t -> summary
+
+val find : t -> ?labels:(string * string) list -> string -> item option
+(** Label order is irrelevant; [?labels] defaults to the unlabeled
+    metric. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> int option
+val gauge : t -> ?labels:(string * string) list -> string -> float option
+val histogram : t -> ?labels:(string * string) list -> string -> summary option
+
+val equal : t -> t -> bool
+
+val to_json_value : t -> Json.t
+val to_json : t -> string
+(** Pretty-printed JSON array, one object per metric. *)
+
+val of_json : string -> (t, string) result
+
+val to_csv : t -> string
+(** One [name,labels,kind,field,value] row per scalar, histogram
+    summaries flattened into one row per field. *)

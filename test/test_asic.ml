@@ -321,7 +321,7 @@ let learning_drain_order () =
 (* ---------- Switch_cpu ---------- *)
 
 let cpu_rate () =
-  let cpu = Asic.Switch_cpu.create ~insertions_per_sec:1000. in
+  let cpu = Asic.Switch_cpu.create ~insertions_per_sec:1000. () in
   let t1 = Asic.Switch_cpu.submit cpu ~now:0. ~work_items:100 in
   check (Alcotest.float 1e-9) "100 items at 1k/s" 0.1 t1;
   let t2 = Asic.Switch_cpu.submit cpu ~now:0. ~work_items:100 in

@@ -32,6 +32,9 @@ let recording_balancer () =
           { Lb.Balancer.dip = Some (dip 1); location = Lb.Balancer.Asic });
       update = (fun ~now:_ ~vip:_ _ -> ());
       connections = (fun () -> 0);
+      metrics =
+        (let reg = Telemetry.Registry.create () in
+         fun () -> reg);
     }
   in
   (b, log)
@@ -88,6 +91,9 @@ let unstable_balancer_counted () =
           { Lb.Balancer.dip = Some (dip (if !toggle then 1 else 2)); location = Lb.Balancer.Asic });
       update = (fun ~now:_ ~vip:_ _ -> ());
       connections = (fun () -> 0);
+      metrics =
+        (let reg = Telemetry.Registry.create () in
+         fun () -> reg);
     }
   in
   let flows = List.init 5 (fun i -> flow ~id:i ~start:1. ~duration:20.) in
@@ -105,6 +111,9 @@ let traffic_attribution () =
         (fun ~now:_ _ -> { Lb.Balancer.dip = Some (dip 1); location = Lb.Balancer.Slb });
       update = (fun ~now:_ ~vip:_ _ -> ());
       connections = (fun () -> 0);
+      metrics =
+        (let reg = Telemetry.Registry.create () in
+         fun () -> reg);
     }
   in
   let flows = List.init 20 (fun i -> flow ~id:i ~start:1. ~duration:60.) in
@@ -124,6 +133,9 @@ let update_delivery_order () =
       process = (fun ~now:_ _ -> { Lb.Balancer.dip = Some (dip 1); location = Lb.Balancer.Asic });
       update = (fun ~now ~vip:_ _ -> seen := now :: !seen);
       connections = (fun () -> 0);
+      metrics =
+        (let reg = Telemetry.Registry.create () in
+         fun () -> reg);
     }
   in
   let updates =
