@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench soak fmt fmt-check clean
 
 all: build
 
@@ -17,6 +17,31 @@ check: build test
 bench:
 	dune exec bench/main.exe
 
+# The chaos soak: every built-in fault scenario crossed with every
+# balancer at the full operating point (~10 minutes). Writes one
+# CHAOS_soak.<scenario>.<balancer>.json report per run and fails if
+# silkroad breaks per-connection consistency anywhere. CI runs this
+# nightly and on manual dispatch (the `soak` workflow job).
+soak: build
+	dune exec bench/main.exe -- --soak
+
+# Formatting gates. ocamlformat is not vendored: when the binary is
+# missing (e.g. a minimal container) these targets skip with a notice
+# instead of failing; CI installs the version pinned in .ocamlformat.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt --auto-promote; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt (CI enforces it)"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping fmt-check (CI enforces it)"; \
+	fi
+
 clean:
 	dune clean
-	rm -f BENCH_telemetry.json
+	rm -f BENCH_telemetry.json CHAOS_soak.*.json chaos_report*.json

@@ -143,10 +143,52 @@ let emit_telemetry ppf path =
   Format.fprintf ppf "wrote %s (latency median %.2e s, p99 %.2e s)@." path
     r.Harness.Driver.latency_median r.Harness.Driver.latency_p99
 
+(* The chaos soak: every built-in scenario crossed with every balancer,
+   at the full operating point. One line per run, a summary table at the
+   end, non-zero exit if silkroad breaks PCC anywhere. Reports land in
+   CHAOS_soak.<scenario>.<balancer>.json. *)
+let run_soak ppf ~seed =
+  Format.fprintf ppf "@.=== Chaos soak (seed %d): %d scenarios x %d balancers ===@." seed
+    (List.length Chaos.Scenario.all)
+    (List.length Experiments.Chaos_runner.balancer_names);
+  let silkroad_failures = ref [] in
+  let rows = ref [] in
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun balancer ->
+          let spec = Experiments.Chaos_runner.default_spec scenario ~seed in
+          let result, report = Experiments.Chaos_runner.run spec ~balancer in
+          let path =
+            Printf.sprintf "CHAOS_soak.%s.%s.json" scenario.Chaos.Scenario.name balancer
+          in
+          Chaos.Report.save path report;
+          Format.fprintf ppf "  %-18s %-10s broken %6d/%6d (%.6f)  violations %6d@."
+            scenario.Chaos.Scenario.name balancer report.Chaos.Report.broken_connections
+            report.Chaos.Report.connections report.Chaos.Report.broken_fraction
+            report.Chaos.Report.violation_packets;
+          rows := (scenario.Chaos.Scenario.name, balancer, report) :: !rows;
+          if String.equal balancer "silkroad" && report.Chaos.Report.broken_fraction > 0.001
+          then
+            silkroad_failures :=
+              Printf.sprintf "%s: broken fraction %.6f" scenario.Chaos.Scenario.name
+                report.Chaos.Report.broken_fraction
+              :: !silkroad_failures;
+          ignore result)
+        Experiments.Chaos_runner.balancer_names)
+    Chaos.Scenario.all;
+  Format.fprintf ppf "@.%d reports written (CHAOS_soak.*.json)@." (List.length !rows);
+  match !silkroad_failures with
+  | [] -> Format.fprintf ppf "soak OK: silkroad held PCC in every scenario@."
+  | fs ->
+    Format.fprintf ppf "soak FAILED: %s@." (String.concat "; " (List.rev fs));
+    exit 1
+
 let () =
   let args = Array.to_list Sys.argv in
   let quick = not (List.mem "--full" args) in
   let smoke = List.mem "--smoke" args in
+  let soak = List.mem "--soak" args in
   let only =
     let rec find = function
       | "--only" :: id :: _ -> Some id
@@ -157,7 +199,8 @@ let () =
   in
   let skip_micro = List.mem "--no-micro" args in
   let ppf = Format.std_formatter in
-  if smoke then begin
+  if soak then run_soak ppf ~seed:1
+  else if smoke then begin
     (* `make check` entry point: just the reference run + snapshot *)
     Format.fprintf ppf "SilkRoad bench — smoke mode@.";
     emit_telemetry ppf "BENCH_telemetry.json"

@@ -125,6 +125,151 @@ let demo_cmd =
     (Cmd.info "demo" ~doc:"Run all four balancers on the same workload and compare PCC.")
     Term.(const run $ conns $ updates $ seconds $ dips $ metrics_json_flag $ verbose_flag)
 
+(* ---- chaos ---- *)
+
+let chaos_cmd =
+  let scenario_arg =
+    Arg.(
+      value
+      & opt string "dip-mass-failure"
+      & info [ "scenario" ] ~docv:"NAME"
+          ~doc:"Chaos scenario to run (use $(b,--list) to enumerate).")
+  in
+  let list_flag = Arg.(value & flag & info [ "list" ] ~doc:"List built-in scenarios and exit.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic seed.") in
+  let seconds =
+    Arg.(value & opt (some float) None & info [ "seconds" ] ~docv:"S" ~doc:"Trace length in seconds.")
+  in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"CONNS" ~doc:"New connections per second per VIP.")
+  in
+  let dips =
+    Arg.(value & opt (some int) None & info [ "dips" ] ~docv:"N" ~doc:"DIPs per VIP pool.")
+  in
+  let balancer_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "balancer" ] ~docv:"NAME"
+          ~doc:"Run one balancer only (silkroad, slb, duet, ecmp); default runs all four.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Write the chaos report as JSON to $(docv). With several balancers, the balancer \
+             name is inserted before the extension.")
+  in
+  let smoke_flag =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI-speed operating point: one scenario cycle, a small workload.")
+  in
+  let max_broken =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-broken" ] ~docv:"FRAC"
+          ~doc:
+            "Exit non-zero if any run's broken-connection fraction exceeds $(docv). With \
+             $(b,--smoke) and no explicit value, 0.001 is enforced for silkroad.")
+  in
+  let run scenario_name list seed seconds rate dips balancer report smoke max_broken metrics_json
+      verbose =
+    setup_logs verbose;
+    if list then begin
+      List.iter (fun s -> Format.fprintf ppf "%a@.@." Chaos.Scenario.pp s) Chaos.Scenario.all;
+      `Ok ()
+    end
+    else
+      match Chaos.Scenario.find scenario_name with
+      | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown scenario %S (try `silkroad chaos --list`)" scenario_name )
+      | Some scenario ->
+        let spec =
+          let base =
+            if smoke then Experiments.Chaos_runner.smoke_spec scenario ~seed
+            else Experiments.Chaos_runner.default_spec scenario ~seed
+          in
+          {
+            base with
+            Experiments.Chaos_runner.seconds = Option.value ~default:base.Experiments.Chaos_runner.seconds seconds;
+            rate = Option.value ~default:base.Experiments.Chaos_runner.rate rate;
+            dips_per_vip = Option.value ~default:base.Experiments.Chaos_runner.dips_per_vip dips;
+          }
+        in
+        let balancers =
+          match balancer with
+          | Some b -> [ b ]
+          | None -> Experiments.Chaos_runner.balancer_names
+        in
+        let threshold_for name =
+          match (max_broken, smoke) with
+          | Some v, _ -> Some v
+          | None, true when String.equal name "silkroad" -> Some 0.001
+          | None, _ -> None
+        in
+        let report_path name =
+          match report with
+          | None -> None
+          | Some path when List.length balancers = 1 -> Some path
+          | Some path ->
+            Some
+              (match Filename.chop_suffix_opt ~suffix:".json" path with
+               | Some stem -> Printf.sprintf "%s.%s.json" stem name
+               | None -> Printf.sprintf "%s.%s" path name)
+        in
+        Format.fprintf ppf "chaos %s seed=%d (%.0fs, %d vip(s) x %d dips, %.0f conns/s/vip)@."
+          scenario.Chaos.Scenario.name seed spec.Experiments.Chaos_runner.seconds
+          spec.Experiments.Chaos_runner.n_vips spec.Experiments.Chaos_runner.dips_per_vip
+          spec.Experiments.Chaos_runner.rate;
+        let snapshots = ref [] in
+        let failures = ref [] in
+        List.iter
+          (fun name ->
+            let result, rep = Experiments.Chaos_runner.run spec ~balancer:name in
+            snapshots :=
+              (result.Harness.Driver.balancer_name, result.Harness.Driver.telemetry)
+              :: !snapshots;
+            Format.fprintf ppf "@.%a@." Chaos.Report.pp rep;
+            (match threshold_for name with
+             | Some limit when rep.Chaos.Report.broken_fraction > limit ->
+               failures :=
+                 Printf.sprintf "%s: broken fraction %.6f exceeds %.6f" name
+                   rep.Chaos.Report.broken_fraction limit
+                 :: !failures
+             | Some _ | None -> ());
+            match report_path name with
+            | None -> ()
+            | Some path ->
+              Chaos.Report.save path rep;
+              Format.fprintf ppf "wrote chaos report to %s@." path)
+          balancers;
+        (match metrics_json with
+         | None -> ()
+         | Some path ->
+           write_metrics_json path (List.rev !snapshots);
+           Format.fprintf ppf "wrote telemetry snapshots to %s@." path);
+        (match !failures with
+         | [] -> `Ok ()
+         | fs -> `Error (false, String.concat "; " (List.rev fs)))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run a named fault-injection scenario and check per-connection consistency.")
+    Term.(
+      ret
+        (const run $ scenario_arg $ list_flag $ seed $ seconds $ rate $ dips $ balancer_arg
+        $ report_arg $ smoke_flag $ max_broken $ metrics_json_flag $ verbose_flag))
+
 (* ---- memory ---- *)
 
 let memory_cmd =
@@ -280,5 +425,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; memory_cmd; p4_cmd;
+          [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; chaos_cmd; memory_cmd; p4_cmd;
             trace_generate_cmd; trace_replay_cmd ]))

@@ -221,6 +221,9 @@ let create ~seed ?metrics ?(grace = 30.) ?switch_vip_budget ~policy ~vips () =
       connections =
         (fun () -> Hashtbl.fold (fun _ vs acc -> acc + Hashtbl.length vs.conns) state.vips 0);
       metrics = (fun () -> state.metrics);
+      (* Duet's switch path is stateless ECMP and its SLBs are modeled
+         without a capacity bound here: nothing to stall *)
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let stats () =

@@ -49,6 +49,8 @@ let create_with ?metrics ~seed vips =
     update = update state;
     connections = (fun () -> 0);
     metrics = (fun () -> state.metrics);
+    (* stateless: no slow path to stall *)
+    disturb = (fun ~now:_ _ -> ());
   }
 
 let create ?metrics ~seed () = create_with ?metrics ~seed []

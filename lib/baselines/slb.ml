@@ -116,6 +116,15 @@ let create ~seed ?metrics ?(capacity_pps = infinity) ?(vips = []) () =
       update = update state;
       connections = (fun () -> Hashtbl.length state.conns);
       metrics = (fun () -> state.metrics);
+      disturb =
+        (fun ~now:_ d ->
+          match d with
+          | Lb.Balancer.Cpu_backlog n ->
+            (* the x86 packet path and control work share the cores: a
+               stall steals that many packets' worth of tokens, which
+               surfaces as overload drops when capacity is finite *)
+            if state.capacity_pps < infinity then
+              state.tokens <- state.tokens -. float_of_int n);
     }
   in
   let stats () =

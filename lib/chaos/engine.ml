@@ -1,0 +1,332 @@
+type op =
+  | Deliver_update of Netcore.Endpoint.t * Lb.Balancer.update
+  | Update_dropped of Netcore.Endpoint.t * Lb.Balancer.update
+  | Update_suppressed of Netcore.Endpoint.t * Lb.Balancer.update
+  | Dip_died of Netcore.Endpoint.t
+  | Dip_recovered of Netcore.Endpoint.t
+  | Cpu_backlog of int
+  | Syn_packet of Netcore.Five_tuple.t
+
+type event = {
+  time : float;
+  fault : string;
+  op : op;
+}
+
+type window = {
+  label : string;
+  w_start : float;
+  w_stop : float;
+}
+
+type t = {
+  scenario : Scenario.t;
+  seed : int;
+  horizon : float;
+  events : event list;
+  windows : window list;
+}
+
+(* Attribution windows outlast the fault itself: a violation caused by a
+   fault often surfaces only when the repair lands (e.g. a migrate-back
+   after a mass failure), so the window extends this far past the last
+   primitive event of the occurrence. *)
+let window_slack = 60.
+
+(* Primitive timeline entries produced by fault expansion, before the
+   health checker and the control channel have been applied. *)
+type prim =
+  | P_fail of Netcore.Endpoint.t
+  | P_recover of Netcore.Endpoint.t
+  | P_cpu of int
+  | P_syn of Netcore.Five_tuple.t
+  | P_request of Netcore.Endpoint.t * Lb.Balancer.update
+  | P_health
+
+let compile ~scenario ~seed ~vips ~horizon =
+  let root = Simnet.Prng.create ~seed in
+  (* Split order is part of the determinism contract: control channel
+     first, then one stream per fault in list order, then one per VIP
+     for background churn. *)
+  let rng_ctl = Simnet.Prng.split root in
+  let sc = scenario in
+  let cycle = if sc.Scenario.cycle > 0. then sc.Scenario.cycle else horizon in
+  let n_cycles = int_of_float (Float.ceil (horizon /. cycle)) in
+  (* the DIP universe, deduplicated in VIP order *)
+  let all_dips =
+    List.concat_map (fun (_, pool) -> Array.to_list (Lb.Dip_pool.members pool)) vips
+    |> List.fold_left
+         (fun acc d -> if List.exists (Netcore.Endpoint.equal d) acc then acc else d :: acc)
+         []
+    |> List.rev
+  in
+  let dip_array = Array.of_list all_dips in
+  let vip_members =
+    List.map (fun (vip, pool) -> (vip, Array.to_list (Lb.Dip_pool.members pool))) vips
+  in
+  let prims = ref [] in
+  let prim_seq = ref 0 in
+  let push time label p =
+    if time >= 0. && time < horizon then begin
+      prims := (time, !prim_seq, label, p) :: !prims;
+      incr prim_seq
+    end
+  in
+  let windows = ref [] in
+  let add_window label w_start w_stop =
+    if w_start < horizon then
+      windows := { label; w_start; w_stop = Float.min horizon w_stop } :: !windows
+  in
+  (* control-channel fault windows, with their parameters *)
+  let ctl_windows = ref [] in
+  List.iter
+    (fun fault ->
+      let rng = Simnet.Prng.split root in
+      let label = Scenario.fault_label fault in
+      for k = 0 to n_cycles - 1 do
+        let c = float_of_int k *. cycle in
+        if c < horizon then begin
+          match fault with
+          | Scenario.Dip_mass_failure { at; fraction; downtime } ->
+            let n =
+              Int.max 1 (int_of_float (Float.round (fraction *. float_of_int (Array.length dip_array))))
+            in
+            let order = Array.copy dip_array in
+            Simnet.Prng.shuffle rng order;
+            let t0 = c +. at in
+            add_window label t0 (t0 +. downtime +. window_slack);
+            for i = 0 to Int.min n (Array.length order) - 1 do
+              push t0 label (P_fail order.(i));
+              push (t0 +. downtime) label (P_recover order.(i))
+            done
+          | Scenario.Dip_flap { start; stop; dips; period } ->
+            add_window label (c +. start) (c +. stop +. window_slack);
+            let order = Array.copy dip_array in
+            Simnet.Prng.shuffle rng order;
+            for i = 0 to Int.min dips (Array.length order) - 1 do
+              let d = order.(i) in
+              let t = ref (c +. start) in
+              let down = ref false in
+              while !t < c +. stop do
+                push !t label (if !down then P_recover d else P_fail d);
+                down := not !down;
+                t := !t +. (period /. 2.)
+              done;
+              if !down then push (c +. stop) label (P_recover d)
+            done
+          | Scenario.Cpu_stall { start; stop; period; work_items } ->
+            add_window label (c +. start) (c +. stop +. window_slack);
+            let t = ref (c +. start) in
+            while !t <= c +. stop do
+              push !t label (P_cpu work_items);
+              t := !t +. period
+            done
+          | Scenario.Control_fault { start; stop; delay; drop_prob } ->
+            add_window label (c +. start) (c +. stop +. window_slack);
+            ctl_windows := (c +. start, c +. stop, delay, drop_prob) :: !ctl_windows
+          | Scenario.Syn_flood { start; stop; pps } ->
+            add_window label (c +. start) (c +. stop +. window_slack);
+            let mean = 1. /. pps in
+            let vip_arr = Array.of_list (List.map fst vips) in
+            let t = ref (c +. start +. Simnet.Prng.exponential rng ~mean) in
+            let i = ref 0 in
+            while !t < c +. stop do
+              let vip = vip_arr.(!i mod Array.length vip_arr) in
+              (* spoofed sources from benchmarking space (198.18/15), far
+                 from the workload's client population *)
+              let src =
+                Netcore.Endpoint.v4 198
+                  (18 + Simnet.Prng.int rng 2)
+                  (Simnet.Prng.int rng 256) (Simnet.Prng.int rng 256)
+                  (1024 + Simnet.Prng.int rng 60000)
+              in
+              push !t label
+                (P_syn (Netcore.Five_tuple.make ~src ~dst:vip ~proto:Netcore.Protocol.Tcp));
+              incr i;
+              t := !t +. Simnet.Prng.exponential rng ~mean
+            done
+          | Scenario.Update_storm { start; stop; updates_per_sec } ->
+            add_window label (c +. start) (c +. stop +. window_slack);
+            let gap = 1. /. updates_per_sec in
+            let vip, pool = List.nth vips (k mod List.length vips) in
+            let members = Lb.Dip_pool.members pool in
+            if Array.length members >= 2 then begin
+              let t = ref (c +. start) in
+              let i = ref 0 in
+              while !t < c +. stop do
+                let d = members.(!i mod Array.length members) in
+                push !t label (P_request (vip, Lb.Balancer.Dip_remove d));
+                push (!t +. (gap /. 2.)) label (P_request (vip, Lb.Balancer.Dip_add d));
+                incr i;
+                t := !t +. gap
+              done
+            end
+        end
+      done)
+    sc.Scenario.faults;
+  if sc.Scenario.background_updates_per_min > 0. then begin
+    add_window Scenario.background_label 0. horizon;
+    let per_vip = sc.Scenario.background_updates_per_min /. float_of_int (List.length vips) in
+    List.iter
+      (fun (vip, pool) ->
+        let rng = Simnet.Prng.split root in
+        let members = Lb.Dip_pool.members pool in
+        if Array.length members >= 2 then
+          Simnet.Update_trace.generate ~rng ~updates_per_min:per_vip ~horizon
+            ~pool_size:(Array.length members)
+          |> List.iter (fun (e : Simnet.Update_trace.event) ->
+                 let d = members.(e.dip) in
+                 let u =
+                   match e.kind with
+                   | Simnet.Update_trace.Remove -> Lb.Balancer.Dip_remove d
+                   | Simnet.Update_trace.Add -> Lb.Balancer.Dip_add d
+                 in
+                 push e.time Scenario.background_label (P_request (vip, u))))
+      vips
+  end;
+  (* health-probe ticks *)
+  let t = ref sc.Scenario.health_interval in
+  while !t < horizon do
+    push !t "" P_health;
+    t := !t +. sc.Scenario.health_interval
+  done;
+  let sorted_prims =
+    List.sort
+      (fun (t1, s1, _, _) (t2, s2, _, _) -> if t1 <> t2 then compare t1 t2 else compare s1 s2)
+      !prims
+  in
+  (* --- the forward walk: liveness, health checker, control channel --- *)
+  let liveness : (Netcore.Endpoint.t, bool) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace liveness d true) all_dips;
+  let alive d = match Hashtbl.find_opt liveness d with Some a -> a | None -> true in
+  (* which fault last changed a DIP's liveness — health-driven updates
+     for that DIP are attributed to it *)
+  let cause : (Netcore.Endpoint.t, string) Hashtbl.t = Hashtbl.create 64 in
+  let hc =
+    Silkroad.Health_checker.create ~interval:sc.Scenario.health_interval
+      ~threshold:sc.Scenario.health_threshold ~is_alive:alive ~dips:all_dips ()
+  in
+  let out = ref [] in
+  let out_seq = ref 0 in
+  let emit time fault op =
+    if time >= 0. && time < horizon then begin
+      out := (time, !out_seq, { time; fault; op }) :: !out;
+      incr out_seq
+    end
+  in
+  let ctl_at t =
+    List.fold_left
+      (fun acc (w0, w1, delay, drop) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if t >= w0 && t < w1 then Some (delay, drop) else None)
+      None
+      (List.rev !ctl_windows)
+  in
+  let ctl_label = Scenario.fault_label (Scenario.Control_fault { start = 0.; stop = 0.; delay = 0.; drop_prob = 0. }) in
+  let deliveries = ref [] in
+  let delivery_seq = ref 0 in
+  let route_request time label vip u =
+    match ctl_at time with
+    | Some (_, drop) when Simnet.Prng.uniform rng_ctl < drop ->
+      emit time ctl_label (Update_dropped (vip, u))
+    | Some (delay, _) ->
+      deliveries := (time +. delay, !delivery_seq, label, vip, u) :: !deliveries;
+      incr delivery_seq
+    | None ->
+      deliveries := (time, !delivery_seq, label, vip, u) :: !deliveries;
+      incr delivery_seq
+  in
+  List.iter
+    (fun (time, _, label, p) ->
+      match p with
+      | P_fail d ->
+        if alive d then begin
+          Hashtbl.replace liveness d false;
+          Hashtbl.replace cause d label;
+          emit time label (Dip_died d)
+        end
+      | P_recover d ->
+        if not (alive d) then begin
+          Hashtbl.replace liveness d true;
+          Hashtbl.replace cause d label;
+          emit time label (Dip_recovered d)
+        end
+      | P_cpu n -> emit time label (Cpu_backlog n)
+      | P_syn tuple -> emit time label (Syn_packet tuple)
+      | P_request (vip, u) -> route_request time label vip u
+      | P_health ->
+        Silkroad.Health_checker.advance hc ~now:time
+        |> List.iter (fun (d, dir) ->
+               let label =
+                 match Hashtbl.find_opt cause d with Some l -> l | None -> Scenario.none_label
+               in
+               let u =
+                 match dir with
+                 | `Down -> Lb.Balancer.Dip_remove d
+                 | `Up -> Lb.Balancer.Dip_add d
+               in
+               List.iter
+                 (fun (vip, members) ->
+                   if List.exists (Netcore.Endpoint.equal d) members then
+                     route_request time label vip u)
+                 vip_members))
+    sorted_prims;
+  (* --- controller sanitisation, in delivery order --- *)
+  let sorted_deliveries =
+    List.sort
+      (fun (t1, s1, _, _, _) (t2, s2, _, _, _) ->
+        if t1 <> t2 then compare t1 t2 else compare s1 s2)
+      !deliveries
+  in
+  let membership : (Netcore.Endpoint.t, Netcore.Endpoint.t list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun (vip, members) -> Hashtbl.replace membership vip (ref members))
+    vip_members;
+  List.iter
+    (fun (time, _, label, vip, u) ->
+      let mref = Hashtbl.find membership vip in
+      let mem d = List.exists (Netcore.Endpoint.equal d) !mref in
+      let accept =
+        match u with
+        | Lb.Balancer.Dip_add d ->
+          if mem d then None else Some (!mref @ [ d ])
+        | Lb.Balancer.Dip_remove d ->
+          (* never empty a pool: a controller would refuse to blackhole a VIP *)
+          if mem d && List.length !mref > 1 then
+            Some (List.filter (fun x -> not (Netcore.Endpoint.equal x d)) !mref)
+          else None
+        | Lb.Balancer.Dip_replace { old_dip; new_dip } ->
+          if mem old_dip && not (mem new_dip) then
+            Some
+              (List.map
+                 (fun x -> if Netcore.Endpoint.equal x old_dip then new_dip else x)
+                 !mref)
+          else None
+      in
+      match accept with
+      | Some next ->
+        mref := next;
+        emit time label (Deliver_update (vip, u))
+      | None -> emit time label (Update_suppressed (vip, u)))
+    sorted_deliveries;
+  let events =
+    List.sort
+      (fun (t1, s1, _) (t2, s2, _) -> if t1 <> t2 then compare t1 t2 else compare s1 s2)
+      !out
+    |> List.map (fun (_, _, e) -> e)
+  in
+  { scenario = sc; seed; horizon; events; windows = List.rev !windows }
+
+let active_fault t ~now =
+  List.fold_left
+    (fun acc w ->
+      if w.w_start <= now && now < w.w_stop then
+        match acc with
+        | Some (best_start, _) when best_start >= w.w_start -> acc
+        | _ -> Some (w.w_start, w.label)
+      else acc)
+    None t.windows
+  |> Option.map snd

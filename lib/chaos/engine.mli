@@ -1,0 +1,69 @@
+(** Deterministic scenario compiler.
+
+    [compile] expands a {!Scenario.t} against a seed, the VIP layout and
+    a horizon into a fully materialised, time-sorted event list. All
+    randomness is drawn from a {!Simnet.Prng} stream derived from the
+    seed, and ties are broken by emission order, so the same inputs
+    always produce the same timeline — the property the determinism
+    regression test pins down byte-for-byte.
+
+    Compilation runs the whole control loop ahead of time: ground-truth
+    DIP liveness evolves as the faults dictate, a real
+    {!Silkroad.Health_checker} observes it and emits pool updates, and
+    every update request (health-driven, background churn, or
+    update-storm) is then passed through the control-channel fault model
+    (delay/drop) and a sanitisation pass that keeps the *delivered*
+    stream membership-consistent per VIP — mirroring a controller that
+    validates state before pushing, and guaranteeing the balancer under
+    test never sees a duplicate add or a remove of an absent DIP no
+    matter which updates were dropped. *)
+
+type op =
+  | Deliver_update of Netcore.Endpoint.t * Lb.Balancer.update
+      (** call [balancer.update] for this VIP now *)
+  | Update_dropped of Netcore.Endpoint.t * Lb.Balancer.update
+      (** the control channel lost this update; accounting only *)
+  | Update_suppressed of Netcore.Endpoint.t * Lb.Balancer.update
+      (** dropped by the controller's sanitiser (it would have produced
+          inconsistent membership after earlier losses); accounting only *)
+  | Dip_died of Netcore.Endpoint.t
+      (** ground truth: the DIP stopped serving — connections pinned to
+          it are dead regardless of the balancer *)
+  | Dip_recovered of Netcore.Endpoint.t
+  | Cpu_backlog of int  (** stall the balancer's slow path by this many work items *)
+  | Syn_packet of Netcore.Five_tuple.t
+      (** spoofed attack SYN: processed by the balancer but not part of
+          the legitimate workload *)
+
+type event = {
+  time : float;
+  fault : string;  (** {!Scenario.fault_label} of the fault that caused it *)
+  op : op;
+}
+
+type window = {
+  label : string;
+  w_start : float;
+  w_stop : float;
+}
+
+type t = {
+  scenario : Scenario.t;
+  seed : int;
+  horizon : float;
+  events : event list;  (** time-sorted, ties in deterministic emission order *)
+  windows : window list;  (** attribution windows, one per fault occurrence *)
+}
+
+val compile :
+  scenario:Scenario.t ->
+  seed:int ->
+  vips:(Netcore.Endpoint.t * Lb.Dip_pool.t) list ->
+  horizon:float ->
+  t
+
+val active_fault : t -> now:float -> string option
+(** The fault a PCC violation observed at [now] is attributed to: the
+    most recently started attribution window containing [now] (windows
+    extend past the fault itself to cover its aftermath), or [None]
+    when no window is active. *)

@@ -1,0 +1,94 @@
+type t = {
+  scenario : string;
+  description : string;
+  seed : int;
+  horizon : float;
+  balancer : string;
+  connections : int;
+  broken_connections : int;
+  broken_fraction : float;
+  violation_packets : int;
+  dropped_packets : int;
+  counters : (string * int) list;
+  events_by_fault : (string * int) list;
+  violations_by_fault : (string * int) list;
+}
+
+let is_chaos_name name =
+  String.length name > 6 && String.equal (String.sub name 0 6) "chaos."
+
+let build ~scenario ~seed ~horizon ~balancer ~connections ~broken_connections ~broken_fraction
+    ~violation_packets ~dropped_packets ~telemetry =
+  let scalar_counters =
+    List.filter_map
+      (fun (it : Telemetry.Snapshot.item) ->
+        match (it.labels, it.value) with
+        | [], Telemetry.Snapshot.Counter v when is_chaos_name it.name -> Some (it.name, v)
+        | _ -> None)
+      telemetry
+  in
+  let by_fault metric =
+    List.filter_map
+      (fun (it : Telemetry.Snapshot.item) ->
+        match (it.labels, it.value) with
+        | [ ("fault", l) ], Telemetry.Snapshot.Counter v when String.equal it.name metric ->
+          Some (l, v)
+        | _ -> None)
+      telemetry
+    |> List.sort compare
+  in
+  {
+    scenario = scenario.Scenario.name;
+    description = scenario.Scenario.description;
+    seed;
+    horizon;
+    balancer;
+    connections;
+    broken_connections;
+    broken_fraction;
+    violation_packets;
+    dropped_packets;
+    counters = List.sort compare scalar_counters;
+    events_by_fault = by_fault "chaos.events";
+    violations_by_fault = by_fault "chaos.violations";
+  }
+
+let to_json_value t =
+  let module J = Telemetry.Json in
+  let assoc l = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) l) in
+  J.Obj
+    [
+      ("scenario", J.String t.scenario);
+      ("description", J.String t.description);
+      ("seed", J.Int t.seed);
+      ("horizon_s", J.Float t.horizon);
+      ("balancer", J.String t.balancer);
+      ("connections", J.Int t.connections);
+      ("broken_connections", J.Int t.broken_connections);
+      ("broken_fraction", J.Float t.broken_fraction);
+      ("violation_packets", J.Int t.violation_packets);
+      ("dropped_packets", J.Int t.dropped_packets);
+      ("counters", assoc t.counters);
+      ("events_by_fault", assoc t.events_by_fault);
+      ("violations_by_fault", assoc t.violations_by_fault);
+    ]
+
+let to_json t = Telemetry.Json.to_string_pretty (to_json_value t) ^ "\n"
+
+let save path t =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v 2>chaos %s (seed %d, %.0fs) on %s:@,\
+     connections %d, broken %d (%.6f), violation packets %d, dropped %d" t.scenario t.seed
+    t.horizon t.balancer t.connections t.broken_connections t.broken_fraction t.violation_packets
+    t.dropped_packets;
+  List.iter (fun (k, v) -> Format.fprintf ppf "@,%s = %d" k v) t.counters;
+  List.iter (fun (l, v) -> Format.fprintf ppf "@,events{fault=%s} = %d" l v) t.events_by_fault;
+  List.iter
+    (fun (l, v) -> Format.fprintf ppf "@,violations{fault=%s} = %d" l v)
+    t.violations_by_fault;
+  Format.fprintf ppf "@]"

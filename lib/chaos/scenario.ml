@@ -1,0 +1,153 @@
+type fault =
+  | Dip_mass_failure of {
+      at : float;
+      fraction : float;
+      downtime : float;
+    }
+  | Dip_flap of {
+      start : float;
+      stop : float;
+      dips : int;
+      period : float;
+    }
+  | Cpu_stall of {
+      start : float;
+      stop : float;
+      period : float;
+      work_items : int;
+    }
+  | Control_fault of {
+      start : float;
+      stop : float;
+      delay : float;
+      drop_prob : float;
+    }
+  | Syn_flood of {
+      start : float;
+      stop : float;
+      pps : float;
+    }
+  | Update_storm of {
+      start : float;
+      stop : float;
+      updates_per_sec : float;
+    }
+
+type t = {
+  name : string;
+  description : string;
+  cycle : float;
+  background_updates_per_min : float;
+  health_interval : float;
+  health_threshold : int;
+  faults : fault list;
+}
+
+let fault_label = function
+  | Dip_mass_failure _ -> "dip-mass-failure"
+  | Dip_flap _ -> "dip-flap"
+  | Cpu_stall _ -> "cpu-stall"
+  | Control_fault _ -> "control-fault"
+  | Syn_flood _ -> "syn-flood"
+  | Update_storm _ -> "update-storm"
+
+let background_label = "background-churn"
+let none_label = "none"
+
+let base =
+  {
+    name = "";
+    description = "";
+    cycle = 120.;
+    background_updates_per_min = 0.;
+    health_interval = 5.;
+    health_threshold = 2;
+    faults = [];
+  }
+
+let all =
+  [
+    {
+      base with
+      name = "quiet";
+      description = "no faults, background DIP churn only (control scenario)";
+      background_updates_per_min = 6.;
+    };
+    {
+      base with
+      name = "dip-mass-failure";
+      description =
+        "half the DIP universe dies at once every cycle (rack/power-domain loss), \
+         detected and repaired by the health checker";
+      faults = [ Dip_mass_failure { at = 30.; fraction = 0.5; downtime = 45. } ];
+    };
+    {
+      base with
+      name = "dip-flap";
+      description =
+        "two DIPs oscillate up/down on a period that aliases against the health \
+         probes, so the checker repeatedly removes and re-adds them; the repeated \
+         updates must ride the version-reuse path without breaking PCC";
+      faults = [ Dip_flap { start = 10.; stop = 110.; dips = 2; period = 4. } ];
+    };
+    {
+      base with
+      name = "cpu-stall";
+      description =
+        "periodic switch-CPU backlog bursts widen the insertion race window (\xc2\xa74.3) \
+         while background churn keeps updates flowing";
+      background_updates_per_min = 12.;
+      faults = [ Cpu_stall { start = 10.; stop = 110.; period = 15.; work_items = 100_000 } ];
+    };
+    {
+      base with
+      name = "control-partition";
+      description =
+        "the control channel degrades for 30 s each cycle: pool updates are \
+         delayed 3 s and a quarter are lost outright";
+      background_updates_per_min = 12.;
+      faults = [ Control_fault { start = 30.; stop = 60.; delay = 3.; drop_prob = 0.25 } ];
+    };
+    {
+      base with
+      name = "syn-flood";
+      description =
+        "spoofed-source SYN burst saturates the pending-connection path \
+         (learning filter, switch CPU, TransitTable Bloom filter)";
+      background_updates_per_min = 6.;
+      faults = [ Syn_flood { start = 30.; stop = 45.; pps = 800. } ];
+    };
+    {
+      base with
+      name = "update-storm";
+      description =
+        "rapid remove/re-add churn on one VIP per cycle drives version \
+         allocation towards exhaustion and exercises the reuse path";
+      faults = [ Update_storm { start = 20.; stop = 50.; updates_per_sec = 4. } ];
+    };
+  ]
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+let pp_fault ppf = function
+  | Dip_mass_failure { at; fraction; downtime } ->
+    Format.fprintf ppf "mass-failure %.0f%% of DIPs at t+%.0fs for %.0fs" (100. *. fraction) at
+      downtime
+  | Dip_flap { start; stop; dips; period } ->
+    Format.fprintf ppf "flap %d DIPs every %.1fs during [%.0fs, %.0fs]" dips period start stop
+  | Cpu_stall { start; stop; period; work_items } ->
+    Format.fprintf ppf "CPU backlog %d items every %.0fs during [%.0fs, %.0fs]" work_items period
+      start stop
+  | Control_fault { start; stop; delay; drop_prob } ->
+    Format.fprintf ppf "control channel +%.1fs delay, %.0f%% drop during [%.0fs, %.0fs]" delay
+      (100. *. drop_prob) start stop
+  | Syn_flood { start; stop; pps } ->
+    Format.fprintf ppf "SYN flood %.0f pps during [%.0fs, %.0fs]" pps start stop
+  | Update_storm { start; stop; updates_per_sec } ->
+    Format.fprintf ppf "update storm %.1f/s during [%.0fs, %.0fs]" updates_per_sec start stop
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s: %s@,cycle %.0fs, churn %.1f/min, health %.0fs x%d" t.name
+    t.description t.cycle t.background_updates_per_min t.health_interval t.health_threshold;
+  List.iter (fun f -> Format.fprintf ppf "@,- %a" pp_fault f) t.faults;
+  Format.fprintf ppf "@]"

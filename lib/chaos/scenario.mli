@@ -1,0 +1,93 @@
+(** Named failure scenarios for the chaos engine.
+
+    A scenario is a small declarative record: a list of fault
+    activations laid out inside a repeating pattern window ([cycle]
+    seconds long), plus the health-checking parameters and the benign
+    background churn the faults ride on. {!Engine.compile} expands a
+    scenario against a concrete seed, VIP set and horizon into a
+    deterministic event timeline — the same (scenario, seed, vips,
+    horizon) always produces the same stream, byte for byte.
+
+    Times inside a fault are relative to the start of each cycle; a
+    fault whose window extends past the cycle end is clipped at the
+    horizon, not at the cycle boundary. *)
+
+type fault =
+  | Dip_mass_failure of {
+      at : float;  (** seconds into the cycle *)
+      fraction : float;  (** fraction of all DIPs that die together *)
+      downtime : float;  (** seconds until the failed DIPs recover *)
+    }
+      (** Correlated mass failure (a rack or power-domain loss): a
+          random [fraction] of the DIP universe goes down at [at] and
+          recovers together. Detected and repaired by the health
+          checker. *)
+  | Dip_flap of {
+      start : float;
+      stop : float;
+      dips : int;  (** how many DIPs flap *)
+      period : float;  (** full down+up cycle length, seconds *)
+    }
+      (** Fast up/down oscillation. With [period] shorter than
+          [health_interval * health_threshold] the checker must not
+          oscillate pool membership. *)
+  | Cpu_stall of {
+      start : float;
+      stop : float;
+      period : float;  (** seconds between stall bursts *)
+      work_items : int;  (** backlog injected per burst *)
+    }
+      (** Switch-CPU stall/backlog bursts: widens the §4.3 pending
+          window that TransitTable must cover. *)
+  | Control_fault of {
+      start : float;
+      stop : float;
+      delay : float;  (** extra delivery delay for updates, seconds *)
+      drop_prob : float;  (** probability an update is lost entirely *)
+    }
+      (** Degraded control channel: every [Lb.Balancer.update] delivery
+          requested inside the window is delayed by [delay] and dropped
+          with probability [drop_prob]. *)
+  | Syn_flood of {
+      start : float;
+      stop : float;
+      pps : float;  (** spoofed SYNs per second (Poisson) *)
+    }
+      (** SYN flood from spoofed sources: every SYN is a new pending
+          connection, pressuring the learning filter, the switch CPU and
+          the TransitTable Bloom filter. *)
+  | Update_storm of {
+      start : float;
+      stop : float;
+      updates_per_sec : float;
+    }
+      (** Rapid remove/re-add churn on one VIP — the version-space
+          exhaustion attack the §4.2 version-reuse path defends
+          against. *)
+
+type t = {
+  name : string;
+  description : string;
+  cycle : float;  (** fault pattern repeats every [cycle] seconds; [<= 0.] means no repetition *)
+  background_updates_per_min : float;
+      (** benign §3.1-style churn running alongside the faults (aggregate
+          across VIPs); [0.] for none *)
+  health_interval : float;  (** seconds between health-probe rounds *)
+  health_threshold : int;  (** consecutive missed probes before [`Down] *)
+  faults : fault list;
+}
+
+val fault_label : fault -> string
+(** Stable kebab-case label used for [chaos.*] telemetry attribution. *)
+
+val background_label : string
+(** The label benign background churn is attributed to. *)
+
+val none_label : string
+(** The label violations get when no fault window is active. *)
+
+val all : t list
+(** The built-in scenario catalogue. *)
+
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -29,6 +29,7 @@ let cpu_latency = Simnet.Dist.lognormal_of_quantiles ~median:2e-3 ~p99:10e-3
 type acc = {
   balancer : Lb.Balancer.t;
   pcc : Lb.Pcc.t;
+  chaos : Chaos.Injector.t option;
   lat_rng : Simnet.Prng.t;
   metrics : Telemetry.Registry.t;
   (* streaming latency histograms replace the old per-packet list: the
@@ -44,7 +45,7 @@ type acc = {
   g_slb_bytes : Telemetry.Registry.Gauge.t;
 }
 
-let make_acc balancer =
+let make_acc ?chaos balancer =
   let reg = Telemetry.Registry.create () in
   let lat where =
     Telemetry.Registry.histogram reg ~labels:[ ("location", where) ] "driver.latency"
@@ -52,6 +53,7 @@ let make_acc balancer =
   {
     balancer;
     pcc = Lb.Pcc.create ();
+    chaos;
     lat_rng = Simnet.Prng.create ~seed:0x1a7;
     metrics = reg;
     h_latency = Telemetry.Registry.histogram reg "driver.latency";
@@ -89,7 +91,12 @@ let probe acc ~flags ~weight_dt (flow : Simnet.Flow.t) at sim =
      Telemetry.Registry.Gauge.add acc.g_slb_bytes bytes;
      observe_latency acc acc.h_lat_slb (Simnet.Dist.sample slb_latency acc.lat_rng));
   if outcome.Lb.Balancer.dip = None then Telemetry.Registry.Counter.incr acc.c_dropped;
-  Lb.Pcc.on_packet acc.pcc ~flow_id:flow.Simnet.Flow.id ~dip:outcome.Lb.Balancer.dip;
+  (match Lb.Pcc.judge acc.pcc ~flow_id:flow.Simnet.Flow.id ~dip:outcome.Lb.Balancer.dip with
+   | Lb.Pcc.Violation ->
+     (match acc.chaos with
+      | Some inj -> Chaos.Injector.attribute_violation inj ~now:at
+      | None -> ())
+   | Lb.Pcc.First | Lb.Pcc.Consistent | Lb.Pcc.Excluded -> ());
   if Netcore.Tcp_flags.is_connection_end flags then
     Lb.Pcc.on_finish acc.pcc ~flow_id:flow.Simnet.Flow.id
 
@@ -134,11 +141,52 @@ let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet
     end
   end
 
-let run ?(early_offsets = default_early) ?(probe_interval = 15.) ~balancer ~flows ~updates
+(* Replay one compiled chaos event into the running simulation. *)
+let inject_chaos_event acc inj (ev : Chaos.Engine.event) sim =
+  ignore sim;
+  let now = ev.Chaos.Engine.time in
+  Chaos.Injector.note_event inj ev;
+  match ev.Chaos.Engine.op with
+  | Chaos.Engine.Deliver_update (vip, u) ->
+    acc.balancer.Lb.Balancer.advance ~now;
+    (* same dead-server accounting as for scripted updates *)
+    (match u with
+     | Lb.Balancer.Dip_remove d -> Lb.Pcc.on_dip_removed acc.pcc ~dip:d
+     | Lb.Balancer.Dip_replace { old_dip; _ } -> Lb.Pcc.on_dip_removed acc.pcc ~dip:old_dip
+     | Lb.Balancer.Dip_add _ -> ());
+    acc.balancer.Lb.Balancer.update ~now ~vip u
+  | Chaos.Engine.Update_dropped _ | Chaos.Engine.Update_suppressed _ ->
+    (* the balancer never hears about these; accounting only *)
+    ()
+  | Chaos.Engine.Dip_died d ->
+    (* ground truth: connections pinned to a dead server are dead on
+       arrival whatever the balancer does — exclude them from PCC *)
+    Lb.Pcc.on_dip_removed acc.pcc ~dip:d
+  | Chaos.Engine.Dip_recovered _ -> ()
+  | Chaos.Engine.Cpu_backlog n ->
+    acc.balancer.Lb.Balancer.advance ~now;
+    acc.balancer.Lb.Balancer.disturb ~now (Lb.Balancer.Cpu_backlog n)
+  | Chaos.Engine.Syn_packet tuple ->
+    (* attack traffic: goes through the balancer (filling tables and
+       queues) but is not part of the measured workload, so it touches
+       neither the PCC oracle nor the driver.* counters *)
+    acc.balancer.Lb.Balancer.advance ~now;
+    let pkt = Netcore.Packet.make ~flags:Netcore.Tcp_flags.syn ~payload_len:0 tuple in
+    ignore (acc.balancer.Lb.Balancer.process ~now pkt)
+
+let run ?(early_offsets = default_early) ?(probe_interval = 15.) ?chaos ~balancer ~flows ~updates
     ~horizon () =
   let sim = Simnet.Sim.create () in
-  let acc = make_acc balancer in
+  let acc = make_acc ?chaos balancer in
   List.iter (fun flow -> schedule_flow acc ~early_offsets ~probe_interval ~horizon sim flow) flows;
+  (match chaos with
+   | None -> ()
+   | Some inj ->
+     List.iter
+       (fun (ev : Chaos.Engine.event) ->
+         if ev.Chaos.Engine.time < horizon then
+           Simnet.Sim.schedule sim ~at:ev.Chaos.Engine.time (inject_chaos_event acc inj ev))
+       (Chaos.Injector.events inj));
   List.iter
     (fun (at, vip, u) ->
       if at < horizon then
@@ -164,6 +212,9 @@ let run ?(early_offsets = default_early) ?(probe_interval = 15.) ~balancer ~flow
   let combined = Telemetry.Registry.create () in
   Telemetry.Registry.merge_into ~into:combined acc.metrics;
   Telemetry.Registry.merge_into ~into:combined (balancer.Lb.Balancer.metrics ());
+  (match chaos with
+   | Some inj -> Telemetry.Registry.merge_into ~into:combined (Chaos.Injector.metrics inj)
+   | None -> ());
   {
     balancer_name = balancer.Lb.Balancer.name;
     connections = Lb.Pcc.total acc.pcc;

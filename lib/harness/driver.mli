@@ -46,6 +46,7 @@ val cpu_latency : Simnet.Dist.t
 val run :
   ?early_offsets:float list ->
   ?probe_interval:float ->
+  ?chaos:Chaos.Injector.t ->
   balancer:Lb.Balancer.t ->
   flows:Simnet.Flow.t list ->
   updates:(float * Netcore.Endpoint.t * Lb.Balancer.update) list ->
@@ -53,6 +54,18 @@ val run :
   unit ->
   result
 (** Flows starting after [horizon] are ignored; probes are truncated at
-    [horizon]. Updates are applied at their scheduled times. *)
+    [horizon]. Updates are applied at their scheduled times.
+
+    With [?chaos], the injector's compiled timeline is scheduled into
+    the simulation alongside the workload: delivered updates drive
+    [balancer.update] (with the same dead-server PCC accounting as
+    scripted [updates]), CPU-backlog events hit [balancer.disturb],
+    SYN-flood packets are processed by the balancer but excluded from
+    the measured workload, and every PCC violation a probe observes is
+    attributed to the active fault window in the injector's [chaos.*]
+    counters, which are merged into [result.telemetry]. A chaos scenario
+    that generates pool churn assumes it owns the update stream — don't
+    also pass scripted [updates] that touch the same pools, the two
+    streams would desynchronise membership. *)
 
 val pp_result : Format.formatter -> result -> unit

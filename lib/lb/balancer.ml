@@ -11,6 +11,8 @@ type location =
   | Switch_cpu
   | Slb
 
+type disturbance = Cpu_backlog of int
+
 type outcome = {
   dip : Netcore.Endpoint.t option;
   location : location;
@@ -23,6 +25,7 @@ type t = {
   update : now:float -> vip:Netcore.Endpoint.t -> update -> unit;
   connections : unit -> int;
   metrics : unit -> Telemetry.Registry.t;
+  disturb : now:float -> disturbance -> unit;
 }
 
 let pp_location ppf l =

@@ -23,6 +23,14 @@ type location =
   | Switch_cpu  (** slow path through the switch management CPU *)
   | Slb  (** handled by a software load balancer server *)
 
+type disturbance =
+  | Cpu_backlog of int
+      (** queue this many extra work items on the balancer's slow-path
+          processor (the switch management CPU for SilkRoad, the x86
+          packet path for an SLB). Used by the chaos harness to model
+          control-plane stalls (§4.3's race window); balancers with no
+          rate-limited slow path ignore it. *)
+
 type outcome = {
   dip : Netcore.Endpoint.t option;  (** [None] = packet dropped *)
   location : location;
@@ -40,6 +48,10 @@ type t = {
           counters, plus its own implementation-specific metrics. A thunk
           so aggregates (e.g. a switch group) can merge member registries
           at snapshot time. *)
+  disturb : now:float -> disturbance -> unit;
+      (** apply a fault-injection disturbance. Implementations translate
+          it to whatever internal resource it stresses; a no-op where the
+          disturbance has no analogue. *)
 }
 
 val pp_location : Format.formatter -> location -> unit

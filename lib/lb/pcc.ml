@@ -13,7 +13,13 @@ type t = {
 
 let create () = { live = Hashtbl.create 1024; total = 0; broken = 0; violations = 0 }
 
-let on_packet t ~flow_id ~dip =
+type verdict =
+  | First
+  | Consistent
+  | Violation
+  | Excluded
+
+let judge t ~flow_id ~dip =
   match Hashtbl.find_opt t.live flow_id with
   | None ->
     t.total <- t.total + 1;
@@ -22,8 +28,9 @@ let on_packet t ~flow_id ~dip =
       t.broken <- t.broken + 1;
       t.violations <- t.violations + 1
     end;
-    Hashtbl.replace t.live flow_id { first = dip; bad; excluded = false }
-  | Some st when st.excluded -> ()
+    Hashtbl.replace t.live flow_id { first = dip; bad; excluded = false };
+    if bad then Violation else First
+  | Some st when st.excluded -> Excluded
   | Some st ->
     let consistent =
       match st.first, dip with
@@ -36,8 +43,12 @@ let on_packet t ~flow_id ~dip =
       if not st.bad then begin
         st.bad <- true;
         t.broken <- t.broken + 1
-      end
+      end;
+      Violation
     end
+    else Consistent
+
+let on_packet t ~flow_id ~dip = ignore (judge t ~flow_id ~dip)
 
 let on_finish t ~flow_id = Hashtbl.remove t.live flow_id
 

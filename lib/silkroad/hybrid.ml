@@ -120,6 +120,10 @@ let balancer t =
     update = (fun ~now ~vip u -> update t ~now ~vip u);
     connections = (fun () -> Switch.connections t.sw + Hashtbl.length t.slb.soft_conns);
     metrics = (fun () -> t.metrics);
+    disturb =
+      (fun ~now d ->
+        match d with
+        | Lb.Balancer.Cpu_backlog n -> Switch.inject_cpu_backlog t.sw ~now ~work_items:n);
   }
 
 let spilled_connections t = Telemetry.Registry.Counter.value t.c_spilled

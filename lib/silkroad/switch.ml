@@ -600,6 +600,17 @@ let request_update t ~now ~vip update =
   end
   else start_job t ~now vip update
 
+let inject_cpu_backlog t ~now ~work_items =
+  advance t ~now;
+  if work_items > 0 then begin
+    (* an empty repair batch: occupies the CPU for [work_items] units and
+       is accounted through the normal completion queue, so the stall is
+       visible in switch_cpu.backlog_seconds and the queue-delay
+       histogram without touching any table *)
+    let done_at = Asic.Switch_cpu.submit t.cpu ~now ~work_items in
+    Queue.add (done_at, Repair_batch []) t.cpu_done
+  end
+
 let set_meter t ~vip ~cir ~cbs ~eir ~ebs =
   if not (Vip_table.mem t.vips vip) then invalid_arg "Switch.set_meter: unknown VIP";
   Hashtbl.replace t.meters vip (Asic.Meter.create ~cir ~cbs ~eir ~ebs)
@@ -617,6 +628,10 @@ let balancer t =
     update = (fun ~now ~vip u -> request_update t ~now ~vip u);
     connections = (fun () -> Conn_table.size t.conns);
     metrics = (fun () -> t.metrics);
+    disturb =
+      (fun ~now d ->
+        match d with
+        | Lb.Balancer.Cpu_backlog n -> inject_cpu_backlog t ~now ~work_items:n);
   }
 
 let stats t =

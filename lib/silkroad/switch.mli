@@ -65,6 +65,13 @@ val request_update : t -> now:float -> vip:Netcore.Endpoint.t -> Lb.Balancer.upd
 (** Request a DIP-pool update; updates to a VIP already updating are
     queued and run in order. *)
 
+val inject_cpu_backlog : t -> now:float -> work_items:int -> unit
+(** Queue [work_items] units of dummy work on the switch CPU, delaying
+    every insertion/deletion behind it — the chaos harness's model of a
+    management-CPU stall (§4.3). The stall shows up in
+    [switch_cpu.backlog_seconds] and the queue-delay histogram; no table
+    is modified. *)
+
 val set_meter :
   t -> vip:Netcore.Endpoint.t -> cir:float -> cbs:int -> eir:float -> ebs:int -> unit
 (** Attach a two-rate three-color meter to the VIP (§5.2 performance

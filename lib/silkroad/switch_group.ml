@@ -68,4 +68,12 @@ let balancer t =
           (fun sw -> Telemetry.Registry.merge_into ~into:reg (Switch.metrics sw))
           t.switches;
         reg);
+    disturb =
+      (fun ~now d ->
+        match d with
+        | Lb.Balancer.Cpu_backlog n ->
+          (* every live member has its own management CPU *)
+          Array.iteri
+            (fun i sw -> if t.up.(i) then Switch.inject_cpu_backlog sw ~now ~work_items:n)
+            t.switches);
   }

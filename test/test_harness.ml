@@ -35,6 +35,7 @@ let recording_balancer () =
       metrics =
         (let reg = Telemetry.Registry.create () in
          fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   (b, log)
@@ -94,6 +95,7 @@ let unstable_balancer_counted () =
       metrics =
         (let reg = Telemetry.Registry.create () in
          fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let flows = List.init 5 (fun i -> flow ~id:i ~start:1. ~duration:20.) in
@@ -114,6 +116,7 @@ let traffic_attribution () =
       metrics =
         (let reg = Telemetry.Registry.create () in
          fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let flows = List.init 20 (fun i -> flow ~id:i ~start:1. ~duration:60.) in
@@ -136,6 +139,7 @@ let update_delivery_order () =
       metrics =
         (let reg = Telemetry.Registry.create () in
          fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let updates =

@@ -811,6 +811,75 @@ let health_drives_switch_updates () =
   done;
   check Alcotest.bool "recovered dip reachable" true !reached
 
+(* A DIP flapping faster than interval*threshold must not oscillate the
+   switch's pool membership: the checker never reports a transition, so
+   no update is ever requested and the published version stays put. *)
+let health_flap_pool_membership_stable () =
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4 ] () in
+  let alive = ref true in
+  let hc =
+    Silkroad.Health_checker.create ~interval:1. ~threshold:3
+      ~is_alive:(fun d -> if Netcore.Endpoint.equal d (dip 2) then !alive else true)
+      ~dips:(List.map dip [ 1; 2; 3; 4 ]) ()
+  in
+  let versions_before = (Silkroad.Switch.stats sw).Silkroad.Switch.updates_completed in
+  (* flap with a 2 s period against a 3 s detection window, for 30 s *)
+  for i = 0 to 29 do
+    alive := i mod 2 = 0;
+    let now = float_of_int i in
+    List.iter
+      (fun (d, ev) ->
+        let u = match ev with `Down -> Lb.Balancer.Dip_remove d | `Up -> Lb.Balancer.Dip_add d in
+        Silkroad.Switch.request_update sw ~now ~vip u)
+      (Silkroad.Health_checker.advance hc ~now);
+    Silkroad.Switch.advance sw ~now
+  done;
+  check Alcotest.int "no updates applied"
+    versions_before
+    (Silkroad.Switch.stats sw).Silkroad.Switch.updates_completed;
+  check Alcotest.bool "never marked down" false (Silkroad.Health_checker.is_marked_down hc (dip 2));
+  (* the flapping dip is still a member: new connections can land on it *)
+  let reached = ref false in
+  for i = 700 to 1000 do
+    if (Silkroad.Switch.process sw ~now:31. (syn i)).Lb.Balancer.dip = Some (dip 2) then
+      reached := true
+  done;
+  check Alcotest.bool "flapping dip still in pool" true !reached
+
+(* A health-checker recovery re-adds the DIP through the version-reuse
+   path: the pool state after re-add matches a previously published
+   version, so the allocator reuses it instead of burning a new one. *)
+let health_recovery_reuses_version () =
+  let sw = mk_switch ~dips:[ 1; 2; 3; 4 ] () in
+  let down = Hashtbl.create 4 in
+  let hc =
+    Silkroad.Health_checker.create ~interval:5. ~threshold:2
+      ~is_alive:(fun d -> not (Hashtbl.mem down d))
+      ~dips:(List.map dip [ 1; 2; 3; 4 ]) ()
+  in
+  let apply now =
+    List.iter
+      (fun (d, ev) ->
+        let u = match ev with `Down -> Lb.Balancer.Dip_remove d | `Up -> Lb.Balancer.Dip_add d in
+        Silkroad.Switch.request_update sw ~now ~vip u)
+      (Silkroad.Health_checker.advance hc ~now)
+  in
+  (* live connections keep the original version referenced, so the pool
+     state the re-add restores is still registered and can be reused *)
+  for i = 0 to 50 do
+    ignore (Silkroad.Switch.process sw ~now:10. (syn i))
+  done;
+  Silkroad.Switch.advance sw ~now:12.;
+  check Alcotest.int "no reuse yet" 0 (Silkroad.Dip_pool_table.reuses (Silkroad.Switch.pools sw));
+  Hashtbl.replace down (dip 3) ();
+  apply 20.;
+  Silkroad.Switch.advance sw ~now:25.;
+  Hashtbl.remove down (dip 3);
+  apply 40.;
+  Silkroad.Switch.advance sw ~now:45.;
+  check Alcotest.bool "re-add reused a version" true
+    (Silkroad.Dip_pool_table.reuses (Silkroad.Switch.pools sw) > 0)
+
 (* ---------- Memory_model ---------- *)
 
 let mm_entry_bits () =
@@ -1021,6 +1090,8 @@ let suites =
         tc "flapping below threshold" `Quick health_flap_needs_threshold;
         tc "probe bandwidth" `Quick health_bandwidth_anchor;
         tc "drives switch updates" `Quick health_drives_switch_updates;
+        tc "flap keeps pool stable" `Quick health_flap_pool_membership_stable;
+        tc "recovery reuses version" `Quick health_recovery_reuses_version;
       ] );
     ( "silkroad.memory_model",
       [

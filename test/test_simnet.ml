@@ -301,6 +301,28 @@ let trace_pool_never_below_half () =
       check Alcotest.bool "at least 3 alive" true (!up >= 3))
     events
 
+(* The documented invariant, under adversarial seeds and rates: the live
+   pool never drops below half its size (rounded down), whatever update
+   storm the generator is asked for. *)
+let qcheck_trace_pool_floor =
+  QCheck.Test.make ~name:"Update_trace.generate never drains pool below half" ~count:150
+    QCheck.(
+      triple (int_range 0 1_000_000) (int_range 2 32) (float_range 1. 600.))
+    (fun (seed, pool_size, updates_per_min) ->
+      let rng = Simnet.Prng.create ~seed in
+      let events =
+        Simnet.Update_trace.generate ~rng ~updates_per_min ~horizon:900. ~pool_size
+      in
+      let floor_size = pool_size / 2 in
+      let up = ref pool_size in
+      List.for_all
+        (fun (e : Simnet.Update_trace.event) ->
+          (match e.Simnet.Update_trace.kind with
+           | Simnet.Update_trace.Remove -> decr up
+           | Simnet.Update_trace.Add -> incr up);
+          !up >= floor_size && !up <= pool_size)
+        events)
+
 let trace_cause_mix () =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. Simnet.Update_trace.cause_mix in
   check (Alcotest.float 0.5) "weights sum to 100" 100. total;
@@ -490,6 +512,7 @@ let suites =
         tc "rate & ranges" `Quick trace_rate_and_balance;
         tc "remove/add consistency" `Quick trace_remove_add_consistency;
         tc "pool floor" `Quick trace_pool_never_below_half;
+        QCheck_alcotest.to_alcotest qcheck_trace_pool_floor;
         tc "cause mix" `Quick trace_cause_mix;
         tc "rolling reboot" `Quick trace_rolling_reboot;
         tc "count per minute" `Quick trace_count_per_minute;

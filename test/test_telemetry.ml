@@ -243,6 +243,7 @@ let driver_constant_memory () =
       update = (fun ~now:_ ~vip:_ _ -> ());
       connections = (fun () -> 0);
       metrics = (fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let flows n =
@@ -346,6 +347,7 @@ let driver_latency_agrees_with_exact () =
       update = (fun ~now:_ ~vip:_ _ -> ());
       connections = (fun () -> 0);
       metrics = (fun () -> reg);
+      disturb = (fun ~now:_ _ -> ());
     }
   in
   let flows =
