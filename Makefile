@@ -1,4 +1,4 @@
-.PHONY: all build test check bench soak fmt fmt-check clean
+.PHONY: all build test check bench soak lint fmt fmt-check clean
 
 all: build
 
@@ -16,6 +16,13 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# silkroad-lint: pipeline feasibility (stage/SRAM/ALU budgets on the §6
+# chip), network-wide VIP placement, and the determinism source lint
+# over lib/ and bin/. Non-zero exit on any error-level finding; CI runs
+# this as the `lint` job.
+lint: build
+	dune exec bin/silkroad_cli.exe -- lint
 
 # The chaos soak: every built-in fault scenario crossed with every
 # balancer at the full operating point (~10 minutes). Writes one

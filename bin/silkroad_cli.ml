@@ -419,6 +419,78 @@ let trace_replay_cmd =
   Cmd.v (Cmd.info "trace-replay" ~doc:"Replay trace files against a SilkRoad switch.")
     Term.(ret (const run $ flows_path $ updates_path $ metrics_json_flag $ verbose_flag))
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.") in
+  let pipeline_flag =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:"Run only the pipeline feasibility and network-wide assignment checks.")
+  in
+  let source_flag =
+    Arg.(value & flag & info [ "source" ] ~doc:"Run only the determinism source lint.")
+  in
+  let root =
+    Arg.(value & opt string "."
+         & info [ "root" ] ~docv:"DIR" ~doc:"Repository root whose lib/ and bin/ are linted.")
+  in
+  let conns =
+    Arg.(value & opt (some int) None
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Check a configuration sized for $(docv) concurrent connections instead of \
+                   the stock one.")
+  in
+  let vips =
+    Arg.(value & opt int 1024
+         & info [ "vips" ] ~docv:"N"
+             ~doc:"VIP count for feasibility and the network-wide bin packing.")
+  in
+  let run json pipeline source root connections vips verbose =
+    setup_logs verbose;
+    let do_pipeline = pipeline || not source in
+    let do_source = source || not pipeline in
+    let cfg =
+      match connections with
+      | None -> Silkroad.Config.default
+      | Some n -> Silkroad.Config.sized_for ~connections:n
+    in
+    let pipe_diags, report =
+      if do_pipeline then begin
+        let r, ds = Analysis.Feasibility.check_config ~vips cfg in
+        let _, nds =
+          Analysis.Feasibility.check_network ~layers:Analysis.Feasibility.default_layers
+            ~vips:(Analysis.Feasibility.default_demands ~cfg ~vips ())
+            ()
+        in
+        (ds @ nds, Some r)
+      end
+      else ([], None)
+    in
+    let src_diags =
+      if do_source then Analysis.Source_lint.lint_dirs (Analysis.Source_lint.default_dirs ~root)
+      else []
+    in
+    let ds = pipe_diags @ src_diags in
+    if json then print_endline (Telemetry.Json.to_string_pretty (Analysis.Diag.list_to_json ds))
+    else begin
+      (match report with
+       | Some r when verbose -> Format.fprintf ppf "%a@." Asic.Pipeline.pp_report r
+       | _ -> ());
+      Format.fprintf ppf "%a@." Analysis.Diag.pp_list ds
+    end;
+    match Analysis.Diag.errors ds with
+    | 0 -> `Ok ()
+    | n -> `Error (false, Printf.sprintf "lint: %d error(s)" n)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check pipeline feasibility (stage/SRAM/ALU budgets), network-wide VIP placement and \
+          source determinism; exit non-zero on any error-level finding.")
+    Term.(ret (const run $ json_flag $ pipeline_flag $ source_flag $ root $ conns $ vips
+               $ verbose_flag))
+
 let () =
   let doc = "SilkRoad: stateful L4 load balancing in a switching ASIC (SIGCOMM'17 reproduction)" in
   let info = Cmd.info "silkroad" ~version:"1.0.0" ~doc in
@@ -426,4 +498,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; chaos_cmd; memory_cmd; p4_cmd;
-            trace_generate_cmd; trace_replay_cmd ]))
+            trace_generate_cmd; trace_replay_cmd; lint_cmd ]))

@@ -1,0 +1,72 @@
+type severity = Error | Warning | Info
+
+type location = { file : string; line : int; col : int }
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : location option;
+  message : string;
+  hint : string option;
+}
+
+let v ?loc ?hint ~rule ~severity message = { rule; severity; loc; message; hint }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let compare_loc a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> 1 (* unlocated findings sort after located ones *)
+  | Some _, None -> -1
+  | Some a, Some b -> (
+    match String.compare a.file b.file with
+    | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c)
+    | c -> c)
+
+let order a b =
+  match compare_loc a.loc b.loc with
+  | 0 -> ( match String.compare a.rule b.rule with 0 -> String.compare a.message b.message | c -> c)
+  | c -> c
+
+let compare = order
+
+let errors ds = List.length (List.filter (fun d -> d.severity = Error) ds)
+let warnings ds = List.length (List.filter (fun d -> d.severity = Warning) ds)
+
+let pp ppf d =
+  (match d.loc with
+   | Some l -> Format.fprintf ppf "%s:%d:%d: " l.file l.line l.col
+   | None -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_name d.severity) d.rule d.message;
+  match d.hint with
+  | Some h -> Format.fprintf ppf "@,  hint: %s" h
+  | None -> ()
+
+let pp_list ppf ds =
+  let ds = List.sort order ds in
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp d) ds;
+  Format.fprintf ppf "%d error(s), %d warning(s)@]" (errors ds) (warnings ds)
+
+let to_json d =
+  let module J = Telemetry.Json in
+  let base =
+    [ ("rule", J.String d.rule); ("severity", J.String (severity_name d.severity)) ]
+  in
+  let loc =
+    match d.loc with
+    | None -> []
+    | Some l ->
+      [ ("file", J.String l.file); ("line", J.Int l.line); ("col", J.Int l.col) ]
+  in
+  let hint = match d.hint with None -> [] | Some h -> [ ("hint", J.String h) ] in
+  J.Obj (base @ loc @ [ ("message", J.String d.message) ] @ hint)
+
+let list_to_json ds =
+  let module J = Telemetry.Json in
+  let ds = List.sort order ds in
+  J.Obj
+    [ ("diagnostics", J.List (List.map to_json ds));
+      ("errors", J.Int (errors ds));
+      ("warnings", J.Int (warnings ds)) ]

@@ -35,7 +35,7 @@ let build ~scenario ~seed ~horizon ~balancer ~connections ~broken_connections ~b
           Some (l, v)
         | _ -> None)
       telemetry
-    |> List.sort compare
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   {
     scenario = scenario.Scenario.name;
@@ -48,7 +48,7 @@ let build ~scenario ~seed ~horizon ~balancer ~connections ~broken_connections ~b
     broken_fraction;
     violation_packets;
     dropped_packets;
-    counters = List.sort compare scalar_counters;
+    counters = List.sort (fun (a, _) (b, _) -> String.compare a b) scalar_counters;
     events_by_fault = by_fault "chaos.events";
     violations_by_fault = by_fault "chaos.violations";
   }

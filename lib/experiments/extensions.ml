@@ -183,17 +183,18 @@ let scale ~quick ppf =
            (1 + (i mod 60000)))
       ~dst:vip ~proto:Netcore.Protocol.Tcp
   in
-  let t0 = Sys.time () in
   let inserted = ref 0 and moves0 = Silkroad.Conn_table.moves table in
-  (try
-     for i = 0 to target - 1 do
-       match Silkroad.Conn_table.insert table (flow i) ~version:(i mod 64) with
-       | Ok _ -> incr inserted
-       | Error `Duplicate -> ()
-       | Error `Full -> raise Exit
-     done
-   with Exit -> ());
-  let dt = Sys.time () -. t0 in
+  let (), dt =
+    Harness.Stopwatch.time (fun () ->
+        try
+          for i = 0 to target - 1 do
+            match Silkroad.Conn_table.insert table (flow i) ~version:(i mod 64) with
+            | Ok _ -> incr inserted
+            | Error `Duplicate -> ()
+            | Error `Full -> raise Exit
+          done
+        with Exit -> ())
+  in
   Common.header ppf "Scalability: filling a large ConnTable (§5.2)";
   Common.row ppf [ "capacity"; string_of_int (Silkroad.Conn_table.capacity table) ];
   Common.row ppf [ "inserted"; string_of_int !inserted ];

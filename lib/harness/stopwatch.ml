@@ -1,0 +1,21 @@
+(* The one module allowed to read the wall clock: everything else takes
+   simulated [now] from the harness, and silkroad-lint's det.wall-clock
+   rule enforces it. Timings measured here are *reported*, never fed
+   back into simulation state, so determinism of results is preserved. *)
+[@@@silkroad.allow "det.wall-clock"]
+
+let elapsed () = Sys.time ()
+
+let time f =
+  let t0 = elapsed () in
+  let x = f () in
+  let dt = elapsed () -. t0 in
+  (x, dt)
+
+let time_metric ?metrics ~name f =
+  let x, dt = time f in
+  (match metrics with
+   | Some registry ->
+     Telemetry.Registry.Gauge.set (Telemetry.Registry.gauge registry name) dt
+   | None -> ());
+  (x, dt)

@@ -60,3 +60,81 @@ let baseline_switch_p4 =
 let table2 ~connections ~vips =
   Asic.Resources.relative_to ~base:baseline_switch_p4
     (additional_resources ~connections ~vips)
+
+(* ----- stage placement (the feasibility checker's view) ----- *)
+
+let chip () = Asic.Pipeline.tofino_like ~baseline:baseline_switch_p4
+
+(* The transit vector of [additional_resources], split into the two
+   physical pieces it describes: the Bloom filter banks proper, and the
+   learning-notification / stats registers. The two must sum to the
+   monolithic vector so Table 2 is unchanged. *)
+let transit_items ~hashes ~bloom_bits ~after =
+  [
+    Asic.Pipeline.item ~after ~name:"TransitTable"
+      (Asic.Resources.make ~sram_bits:bloom_bits ~stateful_alus:hashes ~hash_bits:(hashes * 11)
+         ~vliw_actions:2 ~phv_bits:2 ());
+    Asic.Pipeline.item ~name:"LearnRegs" (Asic.Resources.make ~stateful_alus:2 ());
+  ]
+
+let metadata_item ~version_bits ~digest_bits =
+  Asic.Pipeline.item ~name:"Metadata"
+    (Asic.Resources.make ~phv_bits:((2 * version_bits) + digest_bits + 4) ())
+
+(* Figure 10's dependency structure: ConnTable is consulted first;
+   VIPTable runs on its result (miss path); the TransitTable registers
+   are read/written under VIPTable's phase flags; DIPPoolTable consumes
+   the version whoever produced it. LearnTable fires on the ConnTable
+   miss signal. *)
+let items_of_tables ~transit_hashes ~transit_bits ~version_bits ~digest_bits tables =
+  match tables with
+  | [ conn; vipt; dippool; learn ] ->
+    [
+      Asic.Pipeline.item_of_table ~divisible:true conn;
+      Asic.Pipeline.item_of_table ~after:[ conn.Asic.Table_spec.name ] vipt;
+      Asic.Pipeline.item_of_table ~after:[ conn.Asic.Table_spec.name ] learn;
+    ]
+    @ transit_items ~hashes:transit_hashes ~bloom_bits:transit_bits
+        ~after:[ vipt.Asic.Table_spec.name ]
+    @ [
+        Asic.Pipeline.item_of_table ~after:[ vipt.Asic.Table_spec.name ] dippool;
+        metadata_item ~version_bits ~digest_bits;
+      ]
+  | _ -> invalid_arg "Program.items_of_tables: expected exactly four table specs"
+
+let pipeline_items ~connections ~vips =
+  items_of_tables ~transit_hashes ~transit_bits:transit_bloom_bits ~version_bits ~digest_bits
+    (silkroad_tables ~connections ~vips)
+
+(* same geometry as [silkroad_tables], but parameterized by an actual
+   switch configuration instead of the frozen §6 constants *)
+let tables_of_config ?(vips = 1024) (cfg : Config.t) =
+  let row_bits n =
+    let rec go acc m = if m <= 1 then acc else go (acc + 1) ((m + 1) / 2) in
+    go 0 (Int.max 1 (n / 4))
+  in
+  let connections = Config.conn_capacity cfg in
+  let versions = Config.max_versions cfg in
+  let d = cfg.Config.digest_bits and v = cfg.Config.version_bits in
+  [
+    Asic.Table_spec.make ~name:"ConnTable" ~entries:connections ~match_key_bits:tuple_bits
+      ~stored_key_bits:d ~action_data_bits:v ~n_actions:2
+      ~index_hash_bits:(cfg.Config.conn_table_stages * (row_bits connections + d))
+      ~metadata_phv_bits:v ();
+    Asic.Table_spec.make ~name:"VIPTable" ~entries:vips ~match_key_bits:vip_bits
+      ~action_data_bits:(v + 2) ~n_actions:2 ~index_hash_bits:(row_bits vips)
+      ~metadata_phv_bits:(v + 2) ();
+    Asic.Table_spec.make ~name:"DIPPoolTable" ~entries:(versions * vips)
+      ~match_key_bits:(vip_bits + v) ~action_data_bits:dip_bits ~n_actions:2
+      ~index_hash_bits:(row_bits (versions * vips) + 14) ~metadata_phv_bits:0 ();
+    Asic.Table_spec.make ~name:"LearnTable" ~entries:1 ~match_key_bits:8 ~action_data_bits:0
+      ~n_actions:1 ~metadata_phv_bits:2 ();
+  ]
+
+let items_of_config ?vips (cfg : Config.t) =
+  items_of_tables ~transit_hashes:cfg.Config.transit_hashes
+    ~transit_bits:(cfg.Config.transit_bytes * 8) ~version_bits:cfg.Config.version_bits
+    ~digest_bits:cfg.Config.digest_bits
+    (tables_of_config ?vips cfg)
+
+let feasibility ?vips cfg = Asic.Pipeline.allocate (chip ()) (items_of_config ?vips cfg)

@@ -24,3 +24,32 @@ val baseline_switch_p4 : Asic.Resources.t
 
 val table2 : connections:int -> vips:int -> Asic.Resources.percentages
 (** Additional usage as percentages of the baseline — Table 2's rows. *)
+
+(** {1 Stage placement}
+
+    The same inventory, viewed as placeable {!Asic.Pipeline} items with
+    Figure 10's dependency structure (ConnTable → VIPTable →
+    TransitTable/DIPPoolTable, LearnTable on the miss signal). The item
+    resources sum to {!additional_resources} exactly, so Table 2 is
+    unchanged by the stage allocator. *)
+
+val chip : unit -> Asic.Pipeline.chip
+(** The §6-generation chip the checker places onto, with
+    {!baseline_switch_p4} resident. *)
+
+val pipeline_items : connections:int -> vips:int -> Asic.Pipeline.item list
+(** Items at the frozen §6 operating constants (16-bit digest, 6-bit
+    versions) — the Table 2 path. *)
+
+val tables_of_config : ?vips:int -> Config.t -> Asic.Table_spec.t list
+(** [silkroad_tables] geometry driven by an actual configuration
+    (digest/version widths, ConnTable capacity, provisioned versions).
+    [vips] defaults to 1024. *)
+
+val items_of_config : ?vips:int -> Config.t -> Asic.Pipeline.item list
+
+val feasibility : ?vips:int -> Config.t -> Asic.Pipeline.report
+(** Place everything the configuration implies on {!chip}. A [failure]
+    in the report means the configuration cannot be compiled to the
+    ASIC: {!Switch.create} warns or refuses according to its [?check]
+    argument, and [silkroad-lint] turns it into a diagnostic. *)

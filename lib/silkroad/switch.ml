@@ -95,10 +95,23 @@ module Log = (val Logs.src_log src : Logs.LOG)
    — always 0 in a healthy configuration. *)
 let barrier_deadline = 5.
 
-let create ?metrics cfg =
+let create ?metrics ?(check = `Warn) cfg =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Switch.create: " ^ msg));
+  (* static feasibility: would this configuration compile to the ASIC's
+     stages at all? (`Warn logs and proceeds — the simulation model can
+     still run an over-budget table; real hardware could not.) *)
+  (match check with
+   | `Off -> ()
+   | (`Warn | `Fail) as check ->
+     (match (Program.feasibility cfg).Asic.Pipeline.failure with
+      | None -> ()
+      | Some f ->
+        let msg = Format.asprintf "infeasible pipeline: %a" Asic.Pipeline.pp_failure f in
+        (match check with
+         | `Fail -> invalid_arg ("Switch.create: " ^ msg)
+         | `Warn -> Log.warn (fun m -> m "%s" msg))));
   let reg = match metrics with Some r -> r | None -> Telemetry.Registry.create () in
   let counter = Telemetry.Registry.counter reg in
   {
@@ -706,6 +719,8 @@ let check_invariants t =
       if has_job <> updating then
         bad "%a: job table and VIPTable phase disagree" Netcore.Endpoint.pp vip)
     t.vips;
-  match !problems with
+  (* the accumulators above iterate hash tables: sort so a violation
+     report reads the same regardless of table layout *)
+  match List.sort String.compare !problems with
   | [] -> Ok ()
   | l -> Error l

@@ -32,10 +32,16 @@
 
 type t
 
-val create : ?metrics:Telemetry.Registry.t -> Config.t -> t
+val create : ?metrics:Telemetry.Registry.t -> ?check:[ `Fail | `Warn | `Off ] -> Config.t -> t
 (** [?metrics] is the registry the switch and all its ASIC primitives
     (ConnTable, TransitTable, learning filter, switch CPU) report
-    through; a private one is created when absent. See {!metrics}. *)
+    through; a private one is created when absent. See {!metrics}.
+
+    [?check] (default [`Warn]) runs {!Program.feasibility} on the
+    configuration: [`Fail] raises [Invalid_argument] when the implied
+    tables cannot be placed on the chip's stages, [`Warn] logs the first
+    infeasible resource class and proceeds (the software model can still
+    simulate what hardware could not hold), [`Off] skips the check. *)
 
 val config : t -> Config.t
 

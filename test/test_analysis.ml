@@ -1,0 +1,287 @@
+(* Tests for silkroad-lint: the stage allocator's budget enforcement
+   (one over-budget fixture per resource class), the config-level
+   feasibility checks Switch.create consults, the determinism source
+   lint (seeded fixtures + the shipped tree), and the network-wide
+   assignment checks. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+module P = Asic.Pipeline
+module R = Asic.Resources
+
+(* a 2-stage chip small enough to overflow one class at a time *)
+let tiny ?(n_stages = 2) ?(phv = 64) ?(baseline = R.make ()) () =
+  { P.chip_name = "tiny"; n_stages;
+    stage_budget =
+      R.make ~match_crossbar_bits:64 ~sram_bits:1024 ~tcam_bits:64 ~vliw_actions:2 ~hash_bits:16
+        ~stateful_alus:1 ();
+    chip_phv_bits = phv; baseline }
+
+let rule_of report =
+  match report.P.failure with
+  | None -> "feasible"
+  | Some f -> Analysis.Feasibility.rule_of_failure f
+
+let expect_rule name items rule =
+  let r, ds = Analysis.Feasibility.check_items (tiny ()) items in
+  check Alcotest.string (name ^ " rule") rule (rule_of r);
+  check Alcotest.int (name ^ " is an error") 1 (Analysis.Diag.errors ds)
+
+let overbudget_per_class () =
+  expect_rule "crossbar" [ P.item ~name:"wide-key" (R.make ~match_crossbar_bits:65 ()) ]
+    "pipe.crossbar";
+  expect_rule "sram" [ P.item ~name:"big-table" (R.make ~sram_bits:2048 ()) ] "pipe.sram";
+  expect_rule "tcam" [ P.item ~name:"acl" (R.make ~tcam_bits:65 ()) ] "pipe.tcam";
+  expect_rule "vliw" [ P.item ~name:"many-actions" (R.make ~vliw_actions:3 ()) ] "pipe.vliw";
+  expect_rule "hash" [ P.item ~name:"hasher" (R.make ~hash_bits:17 ()) ] "pipe.hash";
+  expect_rule "salu" [ P.item ~name:"registers" (R.make ~stateful_alus:2 ()) ] "pipe.salu";
+  expect_rule "phv" [ P.item ~name:"metadata" (R.make ~phv_bits:65 ()) ] "pipe.phv";
+  (* dependency chain deeper than the 2-stage chip *)
+  expect_rule "stages"
+    [ P.item ~name:"a" (R.make ~sram_bits:1 ());
+      P.item ~after:[ "a" ] ~name:"b" (R.make ~sram_bits:1 ());
+      P.item ~after:[ "b" ] ~name:"c" (R.make ~sram_bits:1 ()) ]
+    "pipe.stages"
+
+let divisible_spreads_and_exhausts () =
+  (* 1.5 stages worth of SRAM spreads fine when divisible... *)
+  let spread = [ P.item ~divisible:true ~name:"cuckoo" (R.make ~sram_bits:1536 ()) ] in
+  let r, _ = Analysis.Feasibility.check_items (tiny ()) spread in
+  check Alcotest.bool "1.5-stage table placed" true (P.is_feasible r);
+  (match r.P.placements with
+   | [ p ] ->
+     check Alcotest.int "starts at stage 0" 0 p.P.first_stage;
+     check Alcotest.int "ends at stage 1" 1 p.P.last_stage
+   | _ -> Alcotest.fail "expected one placement");
+  (* ...but the whole chip's SRAM is still a ceiling *)
+  let too_big = [ P.item ~divisible:true ~name:"cuckoo" (R.make ~sram_bits:4096 ()) ] in
+  let r, ds = Analysis.Feasibility.check_items (tiny ()) too_big in
+  check Alcotest.string "whole-chip sram rule" "pipe.sram" (rule_of r);
+  (match r.P.failure with
+   | Some f ->
+     check Alcotest.bool "reported as a cross-stage total" true f.P.spread;
+     check Alcotest.int "free = 2 stages" 2048 f.P.available
+   | None -> Alcotest.fail "expected failure");
+  check Alcotest.int "one error" 1 (Analysis.Diag.errors ds)
+
+let dependencies_order_stages () =
+  let items =
+    [ P.item ~name:"first" (R.make ~sram_bits:1 ());
+      P.item ~after:[ "first" ] ~name:"second" (R.make ~sram_bits:1 ()) ]
+  in
+  let r, _ = Analysis.Feasibility.check_items (tiny ()) items in
+  match r.P.placements with
+  | [ a; b ] ->
+    check Alcotest.bool "strictly later stage" true (b.P.first_stage > a.P.last_stage)
+  | _ -> Alcotest.fail "expected two placements"
+
+(* ---------- the SilkRoad program on the §6 chip ---------- *)
+
+let items_sum_to_table2 () =
+  let connections = 1_000_000 and vips = 1024 in
+  let items = Silkroad.Program.pipeline_items ~connections ~vips in
+  let sum = R.sum (List.map (fun (i : P.item) -> i.P.needs) items) in
+  let old = Silkroad.Program.additional_resources ~connections ~vips in
+  check Alcotest.bool "item sum = additional_resources" true (sum = old);
+  (* and the allocator reports exactly that total, so Table 2 numbers
+     are untouched by staging *)
+  let r = P.allocate (Silkroad.Program.chip ()) items in
+  check Alcotest.bool "allocator total unchanged" true (r.P.total_additional = old);
+  check Alcotest.bool "1M connections feasible" true (P.is_feasible r)
+
+let default_and_10m_feasible () =
+  let r = Silkroad.Program.feasibility Silkroad.Config.default in
+  check Alcotest.bool "default feasible" true (P.is_feasible r);
+  let r10 =
+    Silkroad.Program.feasibility (Silkroad.Config.sized_for ~connections:10_000_000)
+  in
+  (* §5.2: "up to 10M connections can fit in the on-chip SRAM" *)
+  check Alcotest.bool "10M feasible" true (P.is_feasible r10);
+  (* the big table really is spread across stages *)
+  match
+    List.find_opt
+      (fun p -> p.P.placed.P.item_name = "ConnTable")
+      r10.P.placements
+  with
+  | Some p -> check Alcotest.bool "ConnTable spans stages" true (p.P.last_stage > p.P.first_stage)
+  | None -> Alcotest.fail "ConnTable not placed"
+
+let oversized_config_rejected () =
+  let cfg = Silkroad.Config.sized_for ~connections:40_000_000 in
+  let r, ds = Analysis.Feasibility.check_config cfg in
+  check Alcotest.string "40M fails on SRAM" "pipe.sram" (rule_of r);
+  check Alcotest.int "one error" 1 (Analysis.Diag.errors ds);
+  let d = List.hd ds in
+  (match d.Analysis.Diag.hint with
+   | Some h ->
+     check Alcotest.bool "hint prices the digest knob" true
+       (let re = Str.regexp_string "digest width" in
+        try ignore (Str.search_forward re h 0); true with Not_found -> false)
+   | None -> Alcotest.fail "expected a fix hint")
+
+let salu_config_rejected () =
+  let cfg = { Silkroad.Config.default with Silkroad.Config.transit_hashes = 8 } in
+  let r, _ = Analysis.Feasibility.check_config cfg in
+  check Alcotest.string "8 Bloom banks fail on stateful ALUs" "pipe.salu" (rule_of r)
+
+let switch_create_check () =
+  let bad = { Silkroad.Config.default with Silkroad.Config.transit_hashes = 8 } in
+  (match Silkroad.Switch.create ~check:`Fail bad with
+   | exception Invalid_argument msg ->
+     check Alcotest.bool "names the pipeline" true
+       (let re = Str.regexp_string "infeasible pipeline" in
+        try ignore (Str.search_forward re msg 0); true with Not_found -> false)
+   | _ -> Alcotest.fail "`Fail must raise on an infeasible configuration");
+  (* `Warn (default) and `Off still build the software model *)
+  ignore (Silkroad.Switch.create bad);
+  ignore (Silkroad.Switch.create ~check:`Off bad);
+  ignore (Silkroad.Switch.create ~check:`Fail Silkroad.Config.default)
+
+(* ---------- determinism source lint ---------- *)
+
+let rules_of src =
+  List.map (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.rule) (Analysis.Source_lint.lint_string src)
+
+let source_fixtures_caught () =
+  check Alcotest.(list string) "wall clock" [ "det.wall-clock" ]
+    (rules_of "let t = Sys.time ()");
+  check Alcotest.(list string) "self init" [ "det.self-init" ]
+    (rules_of "let () = Random.self_init ()");
+  check Alcotest.(list string) "poly hash" [ "det.poly-hash" ]
+    (rules_of "let h y = Hashtbl.hash y");
+  check Alcotest.(list string) "poly compare as value" [ "det.poly-compare" ]
+    (rules_of "let xs ys = List.sort compare ys");
+  check Alcotest.(list string) "(=) as value" [ "det.poly-compare" ]
+    (rules_of "let mem x xs = List.exists (( = ) x) xs");
+  check Alcotest.(list string) "hashtbl order" [ "det.hashtbl-order" ]
+    (rules_of "let dump h = Hashtbl.iter (fun k v -> Format.printf \"%s %d\" k v) h");
+  check Alcotest.(list string) "parse error" [ "src.parse" ] (rules_of "let let = in")
+
+let source_fixture_locations () =
+  match Analysis.Source_lint.lint_string ~file:"x.ml" "let a = 1\nlet t = Sys.time ()" with
+  | [ d ] -> (
+    match d.Analysis.Diag.loc with
+    | Some l ->
+      check Alcotest.string "file" "x.ml" l.Analysis.Diag.file;
+      check Alcotest.int "line" 2 l.Analysis.Diag.line
+    | None -> Alcotest.fail "expected a location")
+  | ds -> Alcotest.fail (Printf.sprintf "expected one finding, got %d" (List.length ds))
+
+let source_negatives_clean () =
+  (* applied compare is deterministic in-run: not flagged *)
+  check Alcotest.(list string) "applied compare" [] (rules_of "let f a b = compare a b = 0");
+  (* explicit comparators are fine *)
+  check Alcotest.(list string) "String.compare" []
+    (rules_of "let xs ys = List.sort String.compare ys");
+  (* collect-sort-render is the blessed Hashtbl pattern *)
+  check Alcotest.(list string) "sorted fold" []
+    (rules_of
+       "let dump h = List.iter print_endline (List.sort String.compare (Hashtbl.fold (fun k _ \
+        acc -> k :: acc) h []))");
+  (* the allowlist attribute suppresses file-wide *)
+  check Alcotest.(list string) "allow attribute" []
+    (rules_of "[@@@silkroad.allow \"det.wall-clock\"]\nlet t = Sys.time ()")
+
+(* Walk up from cwd to the repository root (dune-project); the test
+   binary runs in _build/default/test. *)
+let repo_root () =
+  let rec up d n =
+    if n = 0 then None
+    else if Sys.file_exists (Filename.concat d "dune-project") && Sys.file_exists (Filename.concat d "lib") then Some d
+    else up (Filename.dirname d) (n - 1)
+  in
+  up (Sys.getcwd ()) 6
+
+let shipped_tree_clean () =
+  match repo_root () with
+  | None -> () (* sandboxed run without the source tree: nothing to lint *)
+  | Some root ->
+    let ds = Analysis.Source_lint.lint_dirs (Analysis.Source_lint.default_dirs ~root) in
+    let errs = List.filter (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.severity = Analysis.Diag.Error) ds in
+    List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) errs;
+    check Alcotest.int "no determinism errors in lib/ and bin/" 0 (List.length errs)
+
+(* ---------- network-wide mode ---------- *)
+
+let network_default_places_all () =
+  let _, ds =
+    Analysis.Feasibility.check_network ~layers:Analysis.Feasibility.default_layers
+      ~vips:(Analysis.Feasibility.default_demands ~vips:256 ())
+      ()
+  in
+  check Alcotest.int "no errors" 0 (Analysis.Diag.errors ds);
+  check Alcotest.int "no warnings" 0 (Analysis.Diag.warnings ds)
+
+let mb_bits m = int_of_float (m *. 8. *. 1024. *. 1024.)
+
+let network_overflow_reported () =
+  let layers =
+    [ { Silkroad.Assignment.layer_name = "ToR"; switches = 1; sram_budget_bits = mb_bits 1.;
+        capacity_gbps = 100. } ]
+  in
+  let vip i = Netcore.Endpoint.v4 20 0 0 (i + 1) 80 in
+  let huge =
+    { Silkroad.Assignment.vip = vip 0; conn_bits = mb_bits 10.; traffic_gbps = 1. }
+  in
+  let _, ds = Analysis.Feasibility.check_network ~layers ~vips:[ huge ] () in
+  check Alcotest.int "unplaced VIP is an error" 1 (Analysis.Diag.errors ds);
+  check Alcotest.string "rule" "net.unplaced" (List.hd ds).Analysis.Diag.rule;
+  (* a VIP that fits but leaves <10% headroom draws the warning *)
+  let tight =
+    { Silkroad.Assignment.vip = vip 1; conn_bits = mb_bits 0.95; traffic_gbps = 1. }
+  in
+  let _, ds = Analysis.Feasibility.check_network ~layers ~vips:[ tight ] () in
+  check Alcotest.int "no errors" 0 (Analysis.Diag.errors ds);
+  check Alcotest.string "headroom warning" "net.sram-headroom" (List.hd ds).Analysis.Diag.rule
+
+(* ---------- diagnostics plumbing ---------- *)
+
+let diag_render_and_json () =
+  let d =
+    Analysis.Diag.v
+      ~loc:{ Analysis.Diag.file = "a.ml"; line = 3; col = 4 }
+      ~hint:"do the other thing" ~rule:"det.wall-clock" ~severity:Analysis.Diag.Error "bad"
+  in
+  let text = Format.asprintf "@[<v>%a@]" Analysis.Diag.pp d in
+  check Alcotest.bool "text form" true
+    (let re = Str.regexp_string "a.ml:3:4: error[det.wall-clock]: bad" in
+     try ignore (Str.search_forward re text 0); true with Not_found -> false);
+  let j = Analysis.Diag.list_to_json [ d ] in
+  check Alcotest.int "json errors field" 1
+    (match Telemetry.Json.member "errors" j with Some (Telemetry.Json.Int n) -> n | _ -> -1);
+  (* deterministic order: by location, then rule *)
+  let d2 =
+    Analysis.Diag.v
+      ~loc:{ Analysis.Diag.file = "a.ml"; line = 1; col = 0 }
+      ~rule:"z" ~severity:Analysis.Diag.Warning "later line sorts last"
+  in
+  check Alcotest.bool "sorted by position" true (Analysis.Diag.compare d2 d < 0)
+
+let suites =
+  [
+    ( "analysis.pipeline",
+      [
+        tc "over budget per class" `Quick overbudget_per_class;
+        tc "divisible spread + exhaustion" `Quick divisible_spreads_and_exhausts;
+        tc "dependencies order stages" `Quick dependencies_order_stages;
+        tc "items sum to Table 2" `Quick items_sum_to_table2;
+        tc "default and 10M feasible" `Quick default_and_10m_feasible;
+        tc "40M rejected with hint" `Quick oversized_config_rejected;
+        tc "8 Bloom banks rejected" `Quick salu_config_rejected;
+        tc "Switch.create ?check" `Quick switch_create_check;
+      ] );
+    ( "analysis.source",
+      [
+        tc "seeded fixtures caught" `Quick source_fixtures_caught;
+        tc "locations" `Quick source_fixture_locations;
+        tc "negatives stay clean" `Quick source_negatives_clean;
+        tc "shipped tree lints clean" `Quick shipped_tree_clean;
+      ] );
+    ( "analysis.network",
+      [
+        tc "defaults place all" `Quick network_default_places_all;
+        tc "overflow + headroom" `Quick network_overflow_reported;
+      ] );
+    ( "analysis.diag", [ tc "render + json + order" `Quick diag_render_and_json ] );
+  ]
