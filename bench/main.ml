@@ -25,15 +25,18 @@ module Int_cuckoo = Asic.Cuckoo.Make (struct
   let hash ~seed x = Netcore.Hashing.seeded ~seed (Int64.of_int x)
 end)
 
-let micro_tests () =
+(* One closure per micro-benchmark, shared by the two reporting paths:
+   Bechamel OLS estimates in full mode, plain timed loops under --smoke
+   (CI cannot afford Bechamel's trial schedule). Each closure prepares
+   its structure at construction time; the returned thunk is the op. *)
+let micro_ops () =
   let tuple_hash =
     let f = flow 1 in
-    Test.make ~name:"five_tuple.hash" (Staged.stage (fun () -> Netcore.Five_tuple.hash ~seed:1 f))
+    fun () -> ignore (Netcore.Five_tuple.hash ~seed:1 f)
   in
   let tuple_digest =
     let f = flow 2 in
-    Test.make ~name:"five_tuple.digest16"
-      (Staged.stage (fun () -> Netcore.Five_tuple.digest ~bits:16 ~seed:1 f))
+    fun () -> ignore (Netcore.Five_tuple.digest ~bits:16 ~seed:1 f)
   in
   let cuckoo_lookup =
     let t = Int_cuckoo.create ~stages:2 ~rows_per_stage:65536 ~ways:4 () in
@@ -41,10 +44,9 @@ let micro_tests () =
       ignore (Int_cuckoo.insert t i i)
     done;
     let i = ref 0 in
-    Test.make ~name:"cuckoo.lookup@100k"
-      (Staged.stage (fun () ->
-           incr i;
-           Int_cuckoo.lookup t (!i mod 100_000)))
+    fun () ->
+      incr i;
+      ignore (Int_cuckoo.lookup t (!i mod 100_000))
   in
   let cuckoo_insert_delete =
     let t = Int_cuckoo.create ~stages:2 ~rows_per_stage:65536 ~ways:4 () in
@@ -52,22 +54,20 @@ let micro_tests () =
       ignore (Int_cuckoo.insert t i i)
     done;
     let i = ref 100_000 in
-    Test.make ~name:"cuckoo.insert+remove@100k"
-      (Staged.stage (fun () ->
-           incr i;
-           ignore (Int_cuckoo.insert t !i !i);
-           ignore (Int_cuckoo.remove t !i)))
+    fun () ->
+      incr i;
+      ignore (Int_cuckoo.insert t !i !i);
+      ignore (Int_cuckoo.remove t !i)
   in
   let bloom =
     let b = Asic.Bloom_filter.create ~bits:2048 ~hashes:2 () in
     let i = ref 0 in
-    Test.make ~name:"bloom.add+mem"
-      (Staged.stage (fun () ->
-           incr i;
-           Asic.Bloom_filter.add b (Int64.of_int !i);
-           Asic.Bloom_filter.mem b (Int64.of_int !i)))
+    fun () ->
+      incr i;
+      Asic.Bloom_filter.add b (Int64.of_int !i);
+      ignore (Asic.Bloom_filter.mem b (Int64.of_int !i))
   in
-  let switch_process =
+  let warm_switch () =
     let sw = Silkroad.Switch.create Silkroad.Config.default in
     Silkroad.Switch.add_vip sw vip
       (Lb.Dip_pool.of_list (List.init 8 (fun i -> Netcore.Endpoint.v4 10 0 0 (i + 1) 20)));
@@ -76,34 +76,48 @@ let micro_tests () =
       ignore (Silkroad.Switch.process sw ~now:(float_of_int i *. 1e-4) (Netcore.Packet.syn (flow i)))
     done;
     Silkroad.Switch.advance sw ~now:10.;
+    sw
+  in
+  let switch_process =
+    let sw = warm_switch () in
     let i = ref 0 in
-    Test.make ~name:"switch.process(hit)"
-      (Staged.stage (fun () ->
-           i := (!i + 1) mod 10_000;
-           Silkroad.Switch.process sw ~now:11. (Netcore.Packet.data (flow !i))))
+    fun () ->
+      i := (!i + 1) mod 10_000;
+      ignore (Silkroad.Switch.process sw ~now:11. (Netcore.Packet.data (flow !i)))
+  in
+  let switch_process_flow =
+    let sw = warm_switch () in
+    let i = ref 0 in
+    fun () ->
+      i := (!i + 1) mod 10_000;
+      ignore
+        (Silkroad.Switch.process_flow sw ~now:11. ~flags:Netcore.Tcp_flags.data
+           ~payload_len:1024 (flow !i))
   in
   let maglev =
     let dips = List.init 16 (fun i -> Netcore.Endpoint.v4 10 0 0 (i + 1) 20) in
-    Test.make ~name:"maglev.build@4099"
-      (Staged.stage (fun () -> Baselines.Maglev_hash.create ~table_size:4099 dips))
+    fun () -> ignore (Baselines.Maglev_hash.create ~table_size:4099 dips)
   in
   let meter =
     let m = Asic.Meter.create ~cir:1e9 ~cbs:100000 ~eir:1e9 ~ebs:100000 in
     let t = ref 0. in
-    Test.make ~name:"meter.mark"
-      (Staged.stage (fun () ->
-           t := !t +. 1e-6;
-           Asic.Meter.mark m ~now:!t ~bytes:1500))
+    fun () ->
+      t := !t +. 1e-6;
+      ignore (Asic.Meter.mark m ~now:!t ~bytes:1500)
   in
-  [ tuple_hash; tuple_digest; cuckoo_lookup; cuckoo_insert_delete; bloom; switch_process;
-    maglev; meter ]
+  [ ("five_tuple.hash", tuple_hash); ("five_tuple.digest16", tuple_digest);
+    ("cuckoo.lookup@100k", cuckoo_lookup); ("cuckoo.insert+remove@100k", cuckoo_insert_delete);
+    ("bloom.add+mem", bloom); ("switch.process(hit)", switch_process);
+    ("switch.process_flow(hit)", switch_process_flow); ("maglev.build@4099", maglev);
+    ("meter.mark", meter) ]
 
 let run_micro ppf =
   Format.fprintf ppf "@.=== Micro-benchmarks (Bechamel, ns/op) ===@.";
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
   List.iter
-    (fun test ->
+    (fun (name, op) ->
+      let test = Test.make ~name (Staged.stage op) in
       let results = Benchmark.all cfg [ instance ] test in
       let ols =
         Analyze.all
@@ -116,7 +130,168 @@ let run_micro ppf =
           | Some [ ns ] -> Format.fprintf ppf "  %-28s %10.1f ns/op@." name ns
           | Some _ | None -> Format.fprintf ppf "  %-28s (no estimate)@." name)
         ols)
-    (micro_tests ())
+    (micro_ops ())
+
+(* The --smoke variant: fixed-count timed loops, coarse but seconds-fast
+   (maglev.build is ~100 µs/op, so counts are per-op). *)
+let run_micro_fast ppf =
+  Format.fprintf ppf "@.=== Micro-benchmarks (timed loops, ns/op) ===@.";
+  List.iter
+    (fun (name, op) ->
+      let iters = if name = "maglev.build@4099" then 200 else 100_000 in
+      for _ = 1 to 1_000 do
+        op ()
+      done;
+      let (), dt =
+        Harness.Stopwatch.time (fun () ->
+            for _ = 1 to iters do
+              op ()
+            done)
+      in
+      Format.fprintf ppf "  %-28s %10.1f ns/op@." name (dt *. 1e9 /. float_of_int iters))
+    (micro_ops ())
+
+(* ----- the replay benchmark (BENCH_replay.json) -----
+
+   One operating point per section: --smoke is the CI gate (6K
+   connections), full is the paper-scale point (4 VIPs x 5000 conn/s x
+   50 s = 1M connections). Every mode replays the identical packed
+   trace; the driver run is the seed scalar baseline the ISSUE's >=5x
+   batch-speedup acceptance is measured against. *)
+
+let replay_modes =
+  [ ("scalar", Harness.Replay.Scalar); ("batch", Harness.Replay.Batch);
+    ("shard4", Harness.Replay.Sharded { shards = 4; parallel = false });
+    ("shard4_parallel", Harness.Replay.Sharded { shards = 4; parallel = true }) ]
+
+let replay_section ppf ~smoke =
+  let label = if smoke then "smoke" else "full" in
+  let conns_per_sec_per_vip, trace_seconds = if smoke then (50., 30.) else (5000., 50.) in
+  let s =
+    Experiments.Common.scenario ~conns_per_sec_per_vip ~updates_per_min:0. ~trace_seconds ()
+  in
+  let vips = Experiments.Common.vips_of ~n_vips:4 ~dips_per_vip:8 in
+  let make_switch () =
+    let sw = Silkroad.Switch.create Silkroad.Config.default in
+    List.iter (fun (vip, pool) -> Silkroad.Switch.add_vip sw vip pool) vips;
+    sw
+  in
+  Format.fprintf ppf "@.=== Replay bench (%s): %d flows ===@." label
+    (List.length s.Experiments.Common.flows);
+  let _sw, balancer = Experiments.Common.silkroad ~vips () in
+  let d, driver_s =
+    Harness.Stopwatch.time (fun () ->
+        Harness.Driver.run ~balancer ~flows:s.Experiments.Common.flows ~updates:[]
+          ~horizon:s.Experiments.Common.horizon ())
+  in
+  let driver_pps = float_of_int d.Harness.Driver.packets /. driver_s in
+  Format.fprintf ppf "  %-16s %10.2e pkt/s  %8.1f ns/pkt  (%d packets)@." "driver" driver_pps
+    (driver_s *. 1e9 /. float_of_int d.Harness.Driver.packets)
+    d.Harness.Driver.packets;
+  let trace, compile_s =
+    Harness.Stopwatch.time (fun () ->
+        Harness.Packed_trace.compile ~horizon:s.Experiments.Common.horizon
+          s.Experiments.Common.flows)
+  in
+  Format.fprintf ppf "  trace compiled in %.2f s (%d packets)@." compile_s
+    (Harness.Packed_trace.n_packets trace);
+  let fields = ref [] in
+  let field k v = fields := (label ^ "_" ^ k, v) :: !fields in
+  field "connections" (Telemetry.Json.Int d.Harness.Driver.connections);
+  field "packets" (Telemetry.Json.Int d.Harness.Driver.packets);
+  field "driver_pps" (Telemetry.Json.Float driver_pps);
+  List.iter
+    (fun (name, mode) ->
+      let minor0 = Gc.minor_words () in
+      let r = Harness.Replay.run ~mode ~make_switch ~trace ~controls:[] () in
+      let minor = Gc.minor_words () -. minor0 in
+      (* byte-identical PCC accounting across paths, or the numbers are
+         meaningless: fail loudly, not quietly *)
+      if
+        r.Harness.Replay.packets <> d.Harness.Driver.packets
+        || r.Harness.Replay.connections <> d.Harness.Driver.connections
+        || r.Harness.Replay.broken <> d.Harness.Driver.broken_connections
+      then begin
+        Format.fprintf ppf "FATAL: %s replay diverged from the driver@." name;
+        exit 1
+      end;
+      let pps = float_of_int r.Harness.Replay.packets /. r.Harness.Replay.elapsed in
+      let ns = r.Harness.Replay.elapsed *. 1e9 /. float_of_int r.Harness.Replay.packets in
+      let words = minor /. float_of_int r.Harness.Replay.packets in
+      Format.fprintf ppf
+        "  %-16s %10.2e pkt/s  %8.1f ns/pkt  %6.1f minor words/pkt  %5.2fx driver@." name pps
+        ns words (pps /. driver_pps);
+      field (name ^ "_pps") (Telemetry.Json.Float pps);
+      field (name ^ "_ns_per_packet") (Telemetry.Json.Float ns);
+      field (name ^ "_minor_words_per_packet") (Telemetry.Json.Float words);
+      field (name ^ "_speedup_vs_driver") (Telemetry.Json.Float (pps /. driver_pps)))
+    replay_modes;
+  List.rev !fields
+
+(* The CI regression gate: flat string scan for "<key>": <number> in the
+   committed baseline (no JSON parser needed for one float). *)
+let scan_json_float content key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nlen = String.length needle and clen = String.length content in
+  let rec find i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let stop = ref start in
+    while
+      !stop < clen
+      && (match content.[!stop] with
+          | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+          | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.trim (String.sub content start (!stop - start)))
+
+let check_baseline ppf ~file fields =
+  let content = In_channel.with_open_bin file In_channel.input_all in
+  let key = "smoke_batch_pps" in
+  match scan_json_float content key with
+  | None ->
+    Format.fprintf ppf "baseline %s has no %s; skipping regression gate@." file key;
+    true
+  | Some base ->
+    let current =
+      match List.assoc_opt key fields with
+      | Some (Telemetry.Json.Float v) -> v
+      | _ -> 0.
+    in
+    if current < 0.7 *. base then begin
+      Format.fprintf ppf "REGRESSION: %s %.3e is below 70%% of baseline %.3e@." key current
+        base;
+      false
+    end
+    else begin
+      Format.fprintf ppf "baseline OK: %s %.3e vs baseline %.3e (%.0f%%)@." key current base
+        (100. *. current /. base);
+      true
+    end
+
+let run_replay ppf ~smoke ~baseline =
+  let fields =
+    if smoke then replay_section ppf ~smoke:true
+    else replay_section ppf ~smoke:true @ replay_section ppf ~smoke:false
+  in
+  let path = "BENCH_replay.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Telemetry.Json.to_string_pretty (Telemetry.Json.Obj fields));
+      output_char oc '\n');
+  Format.fprintf ppf "wrote %s@." path;
+  match baseline with
+  | None -> ()
+  | Some file -> if not (check_baseline ppf ~file fields) then exit 1
 
 (* Reference driver run whose registry snapshot is written next to the
    bench output: a machine-readable record of what the run measured
@@ -198,12 +373,28 @@ let () =
     find args
   in
   let skip_micro = List.mem "--no-micro" args in
+  let replay = List.mem "--replay" args in
+  let baseline =
+    let rec find = function
+      | "--baseline" :: file :: _ -> Some file
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let ppf = Format.std_formatter in
   if soak then run_soak ppf ~seed:1
+  else if replay then begin
+    Format.fprintf ppf "SilkRoad bench — replay mode (%s)@."
+      (if smoke then "smoke" else "smoke + full");
+    run_replay ppf ~smoke ~baseline
+  end
   else if smoke then begin
-    (* `make check` entry point: just the reference run + snapshot *)
+    (* `make check` entry point: reference run + snapshot, plus the
+       micro-benchmarks as fast timed loops *)
     Format.fprintf ppf "SilkRoad bench — smoke mode@.";
-    emit_telemetry ppf "BENCH_telemetry.json"
+    emit_telemetry ppf "BENCH_telemetry.json";
+    if not skip_micro then run_micro_fast ppf
   end
   else begin
     Format.fprintf ppf "SilkRoad paper reproduction — %s mode@."

@@ -354,7 +354,26 @@ let trace_replay_cmd =
   let updates_path =
     Arg.(value & opt (some string) None & info [ "updates" ] ~docv:"FILE" ~doc:"Update trace file.")
   in
-  let run flows_path updates_path metrics_json verbose =
+  let fast =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Replay through the packed-trace fast path (batched, allocation-free) instead of \
+             the event-driven driver. Reports the same PCC counters.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"With --fast: partition flows by 5-tuple hash across N independent switches.")
+  in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel" ] ~doc:"With --fast --shards N: run each shard on its own Domain.")
+  in
+  let run flows_path updates_path fast shards parallel metrics_json verbose =
     setup_logs verbose;
     match Simnet.Trace_io.load_flows flows_path with
     | Error e -> `Error (false, flows_path ^ ": " ^ e)
@@ -405,19 +424,55 @@ let trace_replay_cmd =
          let horizon =
            List.fold_left (fun acc f -> Float.max acc (Simnet.Flow.finish f)) 0. flows +. 60.
          in
-         let _, balancer = Experiments.Common.silkroad ~vips:vip_pools () in
-         let r = Harness.Driver.run ~balancer ~flows ~updates ~horizon () in
-         Format.fprintf ppf "%a@." Harness.Driver.pp_result r;
-         (match metrics_json with
-          | None -> ()
-          | Some path ->
-            write_metrics_json path
-              [ (r.Harness.Driver.balancer_name, r.Harness.Driver.telemetry) ];
-            Format.fprintf ppf "wrote telemetry snapshot to %s@." path);
-         `Ok ())
+         if fast then begin
+           if shards < 1 then `Error (false, "--shards must be >= 1")
+           else begin
+             let trace = Harness.Packed_trace.compile ~horizon flows in
+             let controls = Harness.Replay.controls_of_updates ~horizon updates in
+             let mode =
+               if shards > 1 then Harness.Replay.Sharded { shards; parallel }
+               else Harness.Replay.Batch
+             in
+             let make_switch () =
+               let sw = Silkroad.Switch.create Silkroad.Config.default in
+               List.iter (fun (v, pool) -> Silkroad.Switch.add_vip sw v pool) vip_pools;
+               sw
+             in
+             let r = Harness.Replay.run ~mode ~make_switch ~trace ~controls () in
+             Format.fprintf ppf
+               "silkroad (fast%s): conns=%d broken=%d packets=%d dropped=%d violations=%d  \
+                %.2e pkt/s@."
+               (if shards > 1 then Printf.sprintf ", %d shards" shards else "")
+               r.Harness.Replay.connections r.Harness.Replay.broken r.Harness.Replay.packets
+               r.Harness.Replay.dropped r.Harness.Replay.violations
+               (float_of_int r.Harness.Replay.packets /. r.Harness.Replay.elapsed);
+             (match metrics_json with
+              | None -> ()
+              | Some path ->
+                write_metrics_json path
+                  [ ("silkroad", Telemetry.Registry.snapshot r.Harness.Replay.telemetry) ];
+                Format.fprintf ppf "wrote telemetry snapshot to %s@." path);
+             `Ok ()
+           end
+         end
+         else begin
+           let _, balancer = Experiments.Common.silkroad ~vips:vip_pools () in
+           let r = Harness.Driver.run ~balancer ~flows ~updates ~horizon () in
+           Format.fprintf ppf "%a@." Harness.Driver.pp_result r;
+           (match metrics_json with
+            | None -> ()
+            | Some path ->
+              write_metrics_json path
+                [ (r.Harness.Driver.balancer_name, r.Harness.Driver.telemetry) ];
+              Format.fprintf ppf "wrote telemetry snapshot to %s@." path);
+           `Ok ()
+         end)
   in
   Cmd.v (Cmd.info "trace-replay" ~doc:"Replay trace files against a SilkRoad switch.")
-    Term.(ret (const run $ flows_path $ updates_path $ metrics_json_flag $ verbose_flag))
+    Term.(
+      ret
+        (const run $ flows_path $ updates_path $ fast $ shards $ parallel $ metrics_json_flag
+        $ verbose_flag))
 
 (* ---- lint ---- *)
 

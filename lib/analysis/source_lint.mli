@@ -24,6 +24,15 @@
       whose callback writes to a formatted sink ([Format]/[Printf]/
       [Buffer]/[print_*]) with no sort in its arguments — one write
       per entry, in seed-dependent table order, leaks into reports.
+    - [det.domain-unsafe] ({e error}): a module-toplevel [let] whose
+      right-hand side builds a mutable container ([ref],
+      [Hashtbl.create], [Array.make], ...) outside [fun]/[function]/
+      [lazy], in a library on the sharded-replay call path
+      ([lib/netcore], [lib/asic], [lib/lb], [lib/silkroad],
+      [lib/telemetry], [lib/harness]) — such state is shared by every
+      Domain [Harness.Replay.run ~mode:(Sharded {parallel = true})]
+      spawns. [lib/experiments] and [bin] are single-domain and out of
+      scope.
 
     A file opts a rule out with a structure-level attribute, e.g.
     [[@@@silkroad.allow "det.wall-clock"]] (file-wide; the attribute

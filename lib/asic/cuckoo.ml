@@ -85,6 +85,42 @@ module Make (Key : KEY) = struct
        | None -> Key.equal e.key k
        | Some _ -> e.stored_digest = digest_of t stage k)
 
+  type 'v probe = {
+    mutable probe_hit : bool;
+    mutable probe_exact : bool;
+    mutable probe_stage : int;
+    mutable probe_value : 'v;
+  }
+
+  let make_probe v = { probe_hit = false; probe_exact = false; probe_stage = 0; probe_value = v }
+
+  (* [lookup] without the hit record: results land in a caller-owned
+     probe buffer, so the hardware fast path allocates nothing. *)
+  let lookup_into t k (p : 'v probe) =
+    p.probe_hit <- false;
+    let rec by_stage stage =
+      if stage < t.n_stages then begin
+        let row = row_of t stage k in
+        let rec by_way way =
+          if way >= t.n_ways then by_stage (stage + 1)
+          else
+            let slot = t.slots.(stage).(slot_index t row way) in
+            if matches t stage k slot then begin
+              match (slot : _ entry option) with
+              | Some e ->
+                p.probe_hit <- true;
+                p.probe_exact <- Key.equal e.key k;
+                p.probe_stage <- stage;
+                p.probe_value <- e.value
+              | None -> assert false
+            end
+            else by_way (way + 1)
+        in
+        by_way 0
+      end
+    in
+    by_stage 0
+
   let lookup t k =
     let rec by_stage stage =
       if stage >= t.n_stages then None

@@ -61,6 +61,24 @@ module Make (Key : KEY) : sig
   (** Hardware lookup: probes stages in pipeline order and returns the
       first slot whose stored key (digest or full key) matches. *)
 
+  type 'v probe = {
+    mutable probe_hit : bool;
+    mutable probe_exact : bool;
+    mutable probe_stage : int;
+    mutable probe_value : 'v;
+  }
+  (** Caller-owned result buffer for {!lookup_into}: the replay fast
+      path reuses one per table instead of allocating a hit record per
+      packet. Fields other than [probe_hit] are meaningful only when
+      [probe_hit] is true. *)
+
+  val make_probe : 'v -> 'v probe
+  (** A fresh buffer; the argument is a placeholder value. *)
+
+  val lookup_into : 'v t -> Key.t -> 'v probe -> unit
+  (** Allocation-free {!lookup}: probes the same slots in the same order
+      and writes the outcome into the buffer. *)
+
   val find_exact : 'v t -> Key.t -> 'v option
   (** Software lookup by true key. *)
 

@@ -102,11 +102,15 @@ let probe acc ~flags ~weight_dt (flow : Simnet.Flow.t) at sim =
 
 let default_early = [ 250e-6; 1e-3; 5e-3; 20e-3; 0.1 ]
 
-let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet.Flow.t) =
+(* The packet train of one flow, as (time, flags) pairs in strictly
+   increasing time order: SYN at start, early + steady data probes, FIN
+   when the flow ends inside the horizon. Shared with the packed-trace
+   compiler so replay sees byte-identical packet schedules. *)
+let probe_points ~early_offsets ~probe_interval ~horizon (flow : Simnet.Flow.t) =
   let start = flow.Simnet.Flow.start in
   let finish = Float.min (Simnet.Flow.finish flow) horizon in
-  if start < horizon then begin
-    (* collect probe times: SYN, early offsets, steady interval, FIN *)
+  if start >= horizon then []
+  else begin
     let times = ref [] in
     List.iter
       (fun off ->
@@ -121,25 +125,23 @@ let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet
     in
     steady (start +. probe_interval);
     let times = List.sort_uniq Float.compare !times in
-    (* SYN packet *)
-    Simnet.Sim.schedule sim ~at:start
-      (probe acc ~flags:Netcore.Tcp_flags.syn ~weight_dt:0. flow start);
-    let last = ref start in
-    List.iter
-      (fun at ->
-        let dt = at -. !last in
-        last := at;
-        Simnet.Sim.schedule sim ~at
-          (probe acc ~flags:Netcore.Tcp_flags.data ~weight_dt:dt flow at))
-      times;
-    (* FIN, only when the flow actually ends inside the horizon *)
-    if Simnet.Flow.finish flow < horizon then begin
-      let at = Simnet.Flow.finish flow in
-      let dt = at -. !last in
-      Simnet.Sim.schedule sim ~at
-        (probe acc ~flags:Netcore.Tcp_flags.fin ~weight_dt:dt flow at)
-    end
+    let pts =
+      (start, Netcore.Tcp_flags.syn)
+      :: List.map (fun at -> (at, Netcore.Tcp_flags.data)) times
+    in
+    if Simnet.Flow.finish flow < horizon then
+      pts @ [ (Simnet.Flow.finish flow, Netcore.Tcp_flags.fin) ]
+    else pts
   end
+
+let schedule_flow acc ~early_offsets ~probe_interval ~horizon sim (flow : Simnet.Flow.t) =
+  let last = ref flow.Simnet.Flow.start in
+  List.iter
+    (fun (at, flags) ->
+      let dt = at -. !last in
+      last := at;
+      Simnet.Sim.schedule sim ~at (probe acc ~flags ~weight_dt:dt flow at))
+    (probe_points ~early_offsets ~probe_interval ~horizon flow)
 
 (* Replay one compiled chaos event into the running simulation. *)
 let inject_chaos_event acc inj (ev : Chaos.Engine.event) sim =

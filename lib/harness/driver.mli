@@ -43,6 +43,22 @@ val asic_latency : float
 val slb_latency : Simnet.Dist.t
 val cpu_latency : Simnet.Dist.t
 
+val default_early : float list
+(** The default [early_offsets]: 250 µs, 1 ms, 5 ms, 20 ms, 100 ms. *)
+
+val probe_points :
+  early_offsets:float list ->
+  probe_interval:float ->
+  horizon:float ->
+  Simnet.Flow.t ->
+  (float * Netcore.Tcp_flags.t) list
+(** The packet train {!run} generates for one flow, as (time, flags)
+    pairs in strictly increasing time order — SYN at the flow's start,
+    early and steady data probes, FIN when the flow ends before the
+    horizon; empty when the flow starts at or after the horizon. The
+    packed-trace compiler uses the same function, so a replayed trace is
+    packet-for-packet identical to a driver run. *)
+
 val run :
   ?early_offsets:float list ->
   ?probe_interval:float ->

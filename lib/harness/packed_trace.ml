@@ -1,0 +1,184 @@
+(* Flat pre-encoded packet traces for the replay fast path: one float
+   per packet time, one int per flow index, one byte per flag set, all
+   in time-sorted arrays. Compilation shares Driver.probe_points, so a
+   packed trace is packet-for-packet the schedule the driver would have
+   fired, including tie order (equal-time packets keep flow-major
+   emission order, exactly the event queue's insertion order). *)
+
+type t = {
+  horizon : float;
+  vips : Netcore.Endpoint.t array;
+  flow_ids : int array;
+  flow_vip : int array;  (** per flow: index into [vips] *)
+  flow_tuples : Netcore.Five_tuple.t array;
+  times : float array;  (** per packet, sorted (ties: emission order) *)
+  pkt_flow : int array;  (** per packet: index into the flow arrays *)
+  pkt_flags : Bytes.t;  (** per packet: [Tcp_flags.to_byte] *)
+}
+
+let n_flows t = Array.length t.flow_ids
+let n_packets t = Array.length t.times
+
+let dummy_tuple =
+  Netcore.Five_tuple.make ~src:Netcore.Endpoint.none ~dst:Netcore.Endpoint.none
+    ~proto:Netcore.Protocol.Tcp
+
+let compile ?(early_offsets = Driver.default_early) ?(probe_interval = 15.) ~horizon flows =
+  let kept =
+    List.filter_map
+      (fun f ->
+        match Driver.probe_points ~early_offsets ~probe_interval ~horizon f with
+        | [] -> None
+        | pts -> Some (f, pts))
+      flows
+  in
+  let n_flows = List.length kept in
+  let vip_index = Hashtbl.create 16 in
+  let vips_rev = ref [] in
+  let n_vips = ref 0 in
+  let vip_idx vip =
+    match Hashtbl.find_opt vip_index vip with
+    | Some i -> i
+    | None ->
+      let i = !n_vips in
+      Hashtbl.replace vip_index vip i;
+      vips_rev := vip :: !vips_rev;
+      incr n_vips;
+      i
+  in
+  let flow_ids = Array.make n_flows 0 in
+  let flow_vip = Array.make n_flows 0 in
+  let flow_tuples = Array.make n_flows dummy_tuple in
+  let total = List.fold_left (fun acc (_, pts) -> acc + List.length pts) 0 kept in
+  let raw_times = Array.make total 0. in
+  let raw_flow = Array.make total 0 in
+  let raw_flags = Bytes.create total in
+  let p = ref 0 in
+  List.iteri
+    (fun fi ((flow : Simnet.Flow.t), pts) ->
+      flow_ids.(fi) <- flow.Simnet.Flow.id;
+      flow_tuples.(fi) <- flow.Simnet.Flow.tuple;
+      flow_vip.(fi) <- vip_idx flow.Simnet.Flow.tuple.Netcore.Five_tuple.dst;
+      List.iter
+        (fun (at, flags) ->
+          raw_times.(!p) <- at;
+          raw_flow.(!p) <- fi;
+          Bytes.set raw_flags !p (Char.chr (Netcore.Tcp_flags.to_byte flags));
+          incr p)
+        pts)
+    kept;
+  (* sort by (time, emission index): the driver schedules flows
+     first-to-last, so emission order is its tie order *)
+  let order = Array.init total (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match Float.compare raw_times.(a) raw_times.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let times = Array.make total 0. in
+  let pkt_flow = Array.make total 0 in
+  let pkt_flags = Bytes.create total in
+  Array.iteri
+    (fun i src ->
+      times.(i) <- raw_times.(src);
+      pkt_flow.(i) <- raw_flow.(src);
+      Bytes.set pkt_flags i (Bytes.get raw_flags src))
+    order;
+  {
+    horizon;
+    vips = Array.of_list (List.rev !vips_rev);
+    flow_ids;
+    flow_vip;
+    flow_tuples;
+    times;
+    pkt_flow;
+    pkt_flags;
+  }
+
+(* ----- binary codec ----- *)
+
+let magic = "SRPTRC01"
+
+let save path t =
+  let buf = Buffer.create (65536 + (17 * Array.length t.times)) in
+  Buffer.add_string buf magic;
+  Buffer.add_int64_le buf (Int64.bits_of_float t.horizon);
+  Buffer.add_int64_le buf (Int64.of_int (Array.length t.vips));
+  Array.iter (fun v -> Netcore.Endpoint.write buf v) t.vips;
+  Buffer.add_int64_le buf (Int64.of_int (Array.length t.flow_ids));
+  Array.iteri
+    (fun i id ->
+      Buffer.add_int64_le buf (Int64.of_int id);
+      Buffer.add_int32_le buf (Int32.of_int t.flow_vip.(i));
+      Netcore.Endpoint.write buf t.flow_tuples.(i).Netcore.Five_tuple.src;
+      Buffer.add_uint8 buf (Netcore.Protocol.to_byte t.flow_tuples.(i).Netcore.Five_tuple.proto))
+    t.flow_ids;
+  Buffer.add_int64_le buf (Int64.of_int (Array.length t.times));
+  Array.iteri
+    (fun i at ->
+      Buffer.add_int64_le buf (Int64.bits_of_float at);
+      Buffer.add_int32_le buf (Int32.of_int t.pkt_flow.(i));
+      Buffer.add_char buf (Bytes.get t.pkt_flags i))
+    t.times;
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Buffer.output_buffer oc buf)
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let b = Bytes.create len in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input ic b 0 len);
+  if len < 8 || not (String.equal (Bytes.sub_string b 0 8) magic) then
+    failwith "Packed_trace.load: bad magic";
+  let pos = ref 8 in
+  let i64 () =
+    let v = Bytes.get_int64_le b !pos in
+    pos := !pos + 8;
+    v
+  in
+  let i32 () =
+    let v = Bytes.get_int32_le b !pos in
+    pos := !pos + 4;
+    Int32.to_int v
+  in
+  let int () = Int64.to_int (i64 ()) in
+  let horizon = Int64.float_of_bits (i64 ()) in
+  let n_vips = int () in
+  let vips = Array.make n_vips Netcore.Endpoint.none in
+  for i = 0 to n_vips - 1 do
+    let v, p = Netcore.Endpoint.read b !pos in
+    pos := p;
+    vips.(i) <- v
+  done;
+  let n_flows = int () in
+  let flow_ids = Array.make n_flows 0 in
+  let flow_vip = Array.make n_flows 0 in
+  let flow_tuples = Array.make n_flows dummy_tuple in
+  for i = 0 to n_flows - 1 do
+    flow_ids.(i) <- int ();
+    flow_vip.(i) <- i32 ();
+    let src, p = Netcore.Endpoint.read b !pos in
+    pos := p;
+    let proto =
+      match Netcore.Protocol.of_byte (Bytes.get_uint8 b !pos) with
+      | Some pr -> pr
+      | None -> failwith "Packed_trace.load: bad protocol byte"
+    in
+    incr pos;
+    (* intern the destination: every flow of a VIP shares one endpoint
+       record, as after [compile] *)
+    flow_tuples.(i) <-
+      Netcore.Five_tuple.make ~src ~dst:vips.(flow_vip.(i)) ~proto
+  done;
+  let n_pkts = int () in
+  let times = Array.make n_pkts 0. in
+  let pkt_flow = Array.make n_pkts 0 in
+  let pkt_flags = Bytes.create n_pkts in
+  for i = 0 to n_pkts - 1 do
+    times.(i) <- Int64.float_of_bits (i64 ());
+    pkt_flow.(i) <- i32 ();
+    Bytes.set pkt_flags i (Bytes.get b !pos);
+    incr pos
+  done;
+  { horizon; vips; flow_ids; flow_vip; flow_tuples; times; pkt_flow; pkt_flags }

@@ -1,0 +1,49 @@
+(** Flat pre-encoded packet traces for the replay fast path.
+
+    A packed trace is the driver's packet schedule with all the boxing
+    stripped: per-packet time, flow index and flag byte live in three
+    parallel arrays sorted by (time, emission order) — the exact order
+    {!Driver.run}'s event queue would fire them in — and per-flow
+    metadata (5-tuple, VIP, id) lives in flow-indexed arrays. The
+    replay engine streams these through {!Silkroad.Switch.process_batch}
+    without allocating a packet record per probe.
+
+    The binary codec ([save]/[load]) makes a compiled trace a reusable
+    artifact: compile a big workload once, replay it under many
+    configurations. *)
+
+type t = {
+  horizon : float;
+  vips : Netcore.Endpoint.t array;  (** distinct VIPs, first-appearance order *)
+  flow_ids : int array;
+  flow_vip : int array;  (** per flow: index into [vips] *)
+  flow_tuples : Netcore.Five_tuple.t array;
+  times : float array;  (** per packet; sorted, ties in emission order *)
+  pkt_flow : int array;  (** per packet: flow index *)
+  pkt_flags : Bytes.t;  (** per packet: {!Netcore.Tcp_flags.to_byte} *)
+}
+
+val n_flows : t -> int
+val n_packets : t -> int
+
+val dummy_tuple : Netcore.Five_tuple.t
+(** Placeholder tuple ([Endpoint.none] to [Endpoint.none]) used to
+    initialise flow arrays before they are filled. *)
+
+val compile :
+  ?early_offsets:float list ->
+  ?probe_interval:float ->
+  horizon:float ->
+  Simnet.Flow.t list ->
+  t
+(** Pre-encode the packet trains {!Driver.probe_points} generates for
+    these flows (same defaults as {!Driver.run}). Flows starting at or
+    after the horizon are dropped. *)
+
+val save : string -> t -> unit
+(** Write the binary format (little-endian, magic ["SRPTRC01"]). *)
+
+val load : string -> t
+(** Read a trace written by {!save}; VIP endpoints are interned so every
+    flow of a VIP shares one record. Raises [Failure] on malformed
+    input. *)

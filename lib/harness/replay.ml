@@ -1,0 +1,325 @@
+(* The fast-path replay engine: stream a packed trace through one or
+   more Switch instances with flat-array PCC accounting.
+
+   Equivalence contract (pinned by test/test_replay.ml):
+   - [Scalar] reproduces Driver.run's observable counters exactly: same
+     packets in the same order, controls applied with the driver's tie
+     order (packets at a control's timestamp fire first, because the
+     driver schedules every probe before any control event).
+   - [Batch] is byte-identical to [Scalar]: same single switch, same
+     packet order — only the boxing differs.
+   - [Sharded] partitions flows by 5-tuple hash across K independent
+     switches. PCC is preserved trivially: every packet of a flow lands
+     on the same switch, so each connection sees one consistent view.
+     Per-shard ConnTables mean digest collisions (and Bloom-filter false
+     positives) can only involve co-sharded flows — a strictly smaller
+     collision class than the scalar run, which is why shard equivalence
+     is stated over the collision-free counter set. *)
+
+type control =
+  | Update of Netcore.Endpoint.t * Lb.Balancer.update
+  | Dip_dead of Netcore.Endpoint.t
+  | Cpu_backlog of int
+  | Attack_syn of Netcore.Five_tuple.t
+
+type mode =
+  | Scalar
+  | Batch
+  | Sharded of {
+      shards : int;
+      parallel : bool;
+    }
+
+let controls_of_chaos ~horizon events =
+  List.filter_map
+    (fun (ev : Chaos.Engine.event) ->
+      if ev.Chaos.Engine.time >= horizon then None
+      else
+        match ev.Chaos.Engine.op with
+        | Chaos.Engine.Deliver_update (vip, u) -> Some (ev.Chaos.Engine.time, Update (vip, u))
+        | Chaos.Engine.Update_dropped _ | Chaos.Engine.Update_suppressed _ -> None
+        | Chaos.Engine.Dip_died d -> Some (ev.Chaos.Engine.time, Dip_dead d)
+        | Chaos.Engine.Dip_recovered _ -> None
+        | Chaos.Engine.Cpu_backlog n -> Some (ev.Chaos.Engine.time, Cpu_backlog n)
+        | Chaos.Engine.Syn_packet tuple -> Some (ev.Chaos.Engine.time, Attack_syn tuple))
+    events
+
+let controls_of_updates ~horizon updates =
+  List.filter_map
+    (fun (at, vip, u) -> if at >= horizon then None else Some (at, Update (vip, u)))
+    updates
+
+type result = {
+  mode : mode;
+  packets : int;
+  dropped : int;
+  connections : int;
+  broken : int;
+  violations : int;
+  false_hits : int;
+  repairs : int;
+  first_dip : Netcore.Endpoint.t array;
+  telemetry : Telemetry.Registry.t;
+  elapsed : float;
+}
+
+(* per-shard accounting; summed at the end *)
+type counters = {
+  mutable sc_packets : int;
+  mutable sc_dropped : int;
+  mutable sc_total : int;
+  mutable sc_broken : int;
+  mutable sc_violations : int;
+}
+
+(* flat PCC state bytes (shared arrays, disjoint writes by flow owner) *)
+let st_live = 1
+let st_excluded = 2
+let st_bad = 4
+
+(* Mirrors Lb.Pcc.judge + on_finish, flow-indexed and allocation-free.
+   [no_dip] is the physically-unique drop sentinel (tested with [==]),
+   which doubles as the oracle's "first packet was dropped" marker —
+   exactly Pcc's [first = None]. *)
+let judge ~no_dip ~first ~state (c : counters) i dip ~ends =
+  c.sc_packets <- c.sc_packets + 1;
+  if dip == no_dip then c.sc_dropped <- c.sc_dropped + 1;
+  let b = Char.code (Bytes.unsafe_get state i) in
+  if b land st_live = 0 then begin
+    c.sc_total <- c.sc_total + 1;
+    let bad = dip == no_dip in
+    if bad then begin
+      c.sc_broken <- c.sc_broken + 1;
+      c.sc_violations <- c.sc_violations + 1
+    end;
+    Array.unsafe_set first i dip;
+    Bytes.unsafe_set state i (Char.unsafe_chr (st_live lor (if bad then st_bad else 0)))
+  end
+  else if b land st_excluded = 0 then begin
+    let f = Array.unsafe_get first i in
+    let consistent = f != no_dip && dip != no_dip && Netcore.Endpoint.equal f dip in
+    if not consistent then begin
+      c.sc_violations <- c.sc_violations + 1;
+      if b land st_bad = 0 then begin
+        c.sc_broken <- c.sc_broken + 1;
+        Bytes.unsafe_set state i (Char.unsafe_chr (b lor st_bad))
+      end
+    end
+  end;
+  (* Pcc.on_finish: drop the tracking state (the verdict counters keep
+     what happened; [first] keeps the assignment for introspection) *)
+  if ends then Bytes.unsafe_set state i '\000'
+
+(* Pcc.on_dip_removed over this shard's flows only: a flow is judged
+   exclusively by its owner shard, so shard-local exclusion is globally
+   equivalent. *)
+let exclude_dip ~no_dip ~first ~state ~flow_shard ~shard dip =
+  for i = 0 to Array.length first - 1 do
+    if Array.unsafe_get flow_shard i = shard then begin
+      let b = Char.code (Bytes.unsafe_get state i) in
+      if b land st_live <> 0 then begin
+        let f = Array.unsafe_get first i in
+        if f != no_dip && Netcore.Endpoint.equal f dip then
+          Bytes.unsafe_set state i (Char.unsafe_chr (b lor st_excluded))
+      end
+    end
+  done
+
+(* flows are partitioned by a dedicated hash seed, independent of every
+   table/ECMP seed, so sharding never correlates with placement *)
+let shard_seed = 0x51a9
+
+let shard_of ~shards tuple =
+  if shards = 1 then 0
+  else Netcore.Hashing.to_range (Netcore.Five_tuple.hash ~seed:shard_seed tuple) shards
+
+let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
+  let horizon = trace.Packed_trace.horizon in
+  let shards, parallel =
+    match mode with
+    | Scalar | Batch -> (1, false)
+    | Sharded { shards; parallel } ->
+      if shards < 1 then invalid_arg "Replay.run: shards must be >= 1";
+      (shards, parallel)
+  in
+  let batched = match mode with Scalar -> false | Batch | Sharded _ -> true in
+  let n_flows = Array.length trace.Packed_trace.flow_ids in
+  let n_pkts = Array.length trace.Packed_trace.times in
+  let flow_shard =
+    Array.init n_flows (fun i -> shard_of ~shards trace.Packed_trace.flow_tuples.(i))
+  in
+  (* decode flag bytes once: 6 TCP flag bits -> 64 possible sets *)
+  let flags_tab = Array.init 64 Netcore.Tcp_flags.of_byte in
+  (* gather each shard's packets into contiguous arrays *)
+  let counts = Array.make shards 0 in
+  for p = 0 to n_pkts - 1 do
+    let k = flow_shard.(trace.Packed_trace.pkt_flow.(p)) in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let sh_times = Array.init shards (fun k -> Array.make counts.(k) 0.) in
+  let sh_flows =
+    Array.init shards (fun k -> Array.make counts.(k) Packed_trace.dummy_tuple)
+  in
+  let sh_flags = Array.init shards (fun k -> Array.make counts.(k) Netcore.Tcp_flags.data) in
+  let sh_pflow = Array.init shards (fun k -> Array.make counts.(k) 0) in
+  let fill = Array.make shards 0 in
+  for p = 0 to n_pkts - 1 do
+    let fi = trace.Packed_trace.pkt_flow.(p) in
+    let k = flow_shard.(fi) in
+    let j = fill.(k) in
+    fill.(k) <- j + 1;
+    sh_times.(k).(j) <- trace.Packed_trace.times.(p);
+    sh_flows.(k).(j) <- trace.Packed_trace.flow_tuples.(fi);
+    sh_flags.(k).(j) <- flags_tab.(Char.code (Bytes.get trace.Packed_trace.pkt_flags p));
+    sh_pflow.(k).(j) <- fi
+  done;
+  (* controls: stable time sort keeps the driver's tie order (chaos
+     events before scripted updates when the caller concatenates them in
+     that order); attack SYNs route to their flow's owner shard, every
+     other control is broadcast *)
+  let controls = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) controls in
+  let ctrls_of_shard k =
+    Array.of_list
+      (List.filter
+         (fun (_, c) ->
+           match c with
+           | Attack_syn tuple -> shard_of ~shards tuple = k
+           | Update _ | Dip_dead _ | Cpu_backlog _ -> true)
+         controls)
+  in
+  let no_dip = Silkroad.Switch.no_dip in
+  let first = Array.make n_flows no_dip in
+  let state = Bytes.make n_flows '\000' in
+  let switches = Array.init shards (fun _ -> make_switch ()) in
+  let shard_counters =
+    Array.init shards (fun _ ->
+        { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 })
+  in
+  let run_shard k =
+    let sw = switches.(k) in
+    let c = shard_counters.(k) in
+    let times = sh_times.(k)
+    and flows = sh_flows.(k)
+    and flags = sh_flags.(k)
+    and pflow = sh_pflow.(k) in
+    let n = Array.length times in
+    let dips = Array.make n no_dip in
+    let ctrls = ctrls_of_shard k in
+    let nc = Array.length ctrls in
+    let payload_len = 1024 in
+    let judge_range lo hi =
+      for j = lo to hi - 1 do
+        judge ~no_dip ~first ~state c (Array.unsafe_get pflow j) (Array.unsafe_get dips j)
+          ~ends:(Netcore.Tcp_flags.is_connection_end (Array.unsafe_get flags j))
+      done
+    in
+    let process_range lo hi =
+      if hi > lo then begin
+        if batched then
+          Silkroad.Switch.process_batch sw ~times ~flows ~flags ~payload_len ~dips ~pos:lo
+            ~len:(hi - lo)
+        else
+          for j = lo to hi - 1 do
+            dips.(j) <-
+              Silkroad.Switch.process_flow sw ~now:times.(j) ~flags:flags.(j) ~payload_len
+                flows.(j)
+          done;
+        judge_range lo hi
+      end
+    in
+    let exclude dip = exclude_dip ~no_dip ~first ~state ~flow_shard ~shard:k dip in
+    let apply (at, ctrl) =
+      match ctrl with
+      | Update (vip, u) ->
+        (* driver order: advance, dead-server PCC accounting, update *)
+        Silkroad.Switch.advance sw ~now:at;
+        (match u with
+         | Lb.Balancer.Dip_remove d -> exclude d
+         | Lb.Balancer.Dip_replace { old_dip; _ } -> exclude old_dip
+         | Lb.Balancer.Dip_add _ -> ());
+        Silkroad.Switch.request_update sw ~now:at ~vip u
+      | Dip_dead d ->
+        (* ground truth only: no balancer interaction *)
+        exclude d
+      | Cpu_backlog n ->
+        Silkroad.Switch.advance sw ~now:at;
+        Silkroad.Switch.inject_cpu_backlog sw ~now:at ~work_items:n
+      | Attack_syn tuple ->
+        (* fills tables and queues but is not measured workload: no
+           counter, no PCC *)
+        Silkroad.Switch.advance sw ~now:at;
+        ignore
+          (Silkroad.Switch.process_flow sw ~now:at ~flags:Netcore.Tcp_flags.syn ~payload_len:0
+             tuple)
+    in
+    let i = ref 0 in
+    let ci = ref 0 in
+    while !ci < nc do
+      let (at, _) = ctrls.(!ci) in
+      (* packets at the control's timestamp fire first: the driver
+         schedules every probe before any control event *)
+      let j = ref !i in
+      while !j < n && times.(!j) <= at do incr j done;
+      process_range !i !j;
+      i := !j;
+      apply ctrls.(!ci);
+      incr ci
+    done;
+    process_range !i n;
+    Silkroad.Switch.advance sw ~now:horizon
+  in
+  let (), elapsed =
+    Stopwatch.time (fun () ->
+        if parallel && shards > 1 then begin
+          let doms =
+            Array.init (shards - 1) (fun j -> Domain.spawn (fun () -> run_shard (j + 1)))
+          in
+          run_shard 0;
+          Array.iter Domain.join doms
+        end
+        else
+          for k = 0 to shards - 1 do
+            run_shard k
+          done)
+  in
+  let tot = { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 } in
+  Array.iter
+    (fun c ->
+      tot.sc_packets <- tot.sc_packets + c.sc_packets;
+      tot.sc_dropped <- tot.sc_dropped + c.sc_dropped;
+      tot.sc_total <- tot.sc_total + c.sc_total;
+      tot.sc_broken <- tot.sc_broken + c.sc_broken;
+      tot.sc_violations <- tot.sc_violations + c.sc_violations)
+    shard_counters;
+  let false_hits = ref 0 in
+  let repairs = ref 0 in
+  Array.iter
+    (fun sw ->
+      let s = Silkroad.Switch.stats sw in
+      false_hits := !false_hits + s.Silkroad.Switch.false_hits;
+      repairs := !repairs + s.Silkroad.Switch.collision_repairs)
+    switches;
+  let own = Telemetry.Registry.create () in
+  let c name v = Telemetry.Registry.Counter.add (Telemetry.Registry.counter own name) v in
+  c "replay.packets" tot.sc_packets;
+  c "replay.dropped_packets" tot.sc_dropped;
+  c "replay.connections" tot.sc_total;
+  c "replay.broken_connections" tot.sc_broken;
+  c "replay.violation_packets" tot.sc_violations;
+  let telemetry =
+    Telemetry.Registry.merge_all
+      (own :: Array.to_list (Array.map Silkroad.Switch.metrics switches))
+  in
+  {
+    mode;
+    packets = tot.sc_packets;
+    dropped = tot.sc_dropped;
+    connections = tot.sc_total;
+    broken = tot.sc_broken;
+    violations = tot.sc_violations;
+    false_hits = !false_hits;
+    repairs = !repairs;
+    first_dip = first;
+    telemetry;
+    elapsed;
+  }

@@ -1,0 +1,87 @@
+(** The fast-path replay engine: stream a {!Packed_trace.t} through one
+    or more {!Silkroad.Switch.t} instances with flat-array PCC
+    accounting, allocation-free on the per-packet path.
+
+    Three modes, with a pinned equivalence contract:
+
+    - [Scalar] — one switch, one {!Silkroad.Switch.process_flow} call
+      per packet. Reproduces {!Driver.run}'s observable counters exactly
+      (same packets, same order, same control tie-breaking).
+    - [Batch] — one switch, {!Silkroad.Switch.process_batch} over the
+      packet runs between control events. Byte-identical to [Scalar],
+      including the merged telemetry snapshot.
+    - [Sharded] — flows partitioned by 5-tuple hash over K independent
+      switches ([parallel] runs them on Domains). PCC is preserved
+      trivially: every packet of a flow lands on the same switch.
+      Digest collisions and Bloom false positives can only involve
+      co-sharded flows — a strictly smaller collision class than the
+      scalar run — so equivalence with [Scalar] is stated over the
+      collision-free counters only.
+
+    Judged-workload accounting mirrors {!Lb.Pcc} exactly; attack SYNs
+    go through the switch but touch neither the packet counters nor the
+    oracle, as in the driver. *)
+
+type control =
+  | Update of Netcore.Endpoint.t * Lb.Balancer.update
+      (** apply to the switch, with dead-server PCC exclusion for
+          removals/replacements — the driver's scripted-update rule *)
+  | Dip_dead of Netcore.Endpoint.t  (** ground truth only: PCC exclusion *)
+  | Cpu_backlog of int
+  | Attack_syn of Netcore.Five_tuple.t
+
+type mode =
+  | Scalar
+  | Batch
+  | Sharded of {
+      shards : int;
+      parallel : bool;  (** spawn one Domain per extra shard *)
+    }
+
+val controls_of_chaos : horizon:float -> Chaos.Engine.event list -> (float * control) list
+(** The control stream {!Driver.run} would derive from a compiled chaos
+    timeline: delivered updates, DIP deaths, CPU backlogs and attack
+    SYNs, with dropped/suppressed updates and recoveries elided.
+    Events at or after the horizon are discarded. *)
+
+val controls_of_updates :
+  horizon:float ->
+  (float * Netcore.Endpoint.t * Lb.Balancer.update) list ->
+  (float * control) list
+(** Scripted updates as controls. When combining with chaos controls,
+    concatenate chaos first — {!run} sorts stably by time, so the
+    driver's tie order is preserved. *)
+
+type result = {
+  mode : mode;
+  packets : int;  (** measured probes (attack SYNs excluded) *)
+  dropped : int;
+  connections : int;  (** distinct connections judged (Pcc.total) *)
+  broken : int;
+  violations : int;
+  false_hits : int;  (** summed over shards *)
+  repairs : int;
+  first_dip : Netcore.Endpoint.t array;
+      (** per flow index: the DIP of its first judged packet;
+          {!Silkroad.Switch.no_dip} (compare with [==]) when the first
+          packet was dropped or the flow never sent *)
+  telemetry : Telemetry.Registry.t;
+      (** replay.* counters merged with every shard switch's registry *)
+  elapsed : float;  (** CPU seconds spent replaying (gather excluded) *)
+}
+
+val shard_of : shards:int -> Netcore.Five_tuple.t -> int
+(** The flow partition used by [Sharded] mode (dedicated hash seed,
+    independent of all table seeds). *)
+
+val run :
+  ?mode:mode ->
+  make_switch:(unit -> Silkroad.Switch.t) ->
+  trace:Packed_trace.t ->
+  controls:(float * control) list ->
+  unit ->
+  result
+(** Replay the trace. [make_switch] is called once per shard and must
+    return identically configured switches (same config, same VIPs and
+    pools); the trace's horizon bounds the run and every switch gets a
+    final [advance ~now:horizon]. Default mode: [Batch]. *)

@@ -9,6 +9,11 @@ val make : Ip.t -> int -> t
 val v4 : int -> int -> int -> int -> int -> t
 (** [v4 a b c d port] is a convenience constructor for [a.b.c.d:port]. *)
 
+val none : t
+(** A {e physically unique} sentinel ([0.0.0.0:0]) that allocation-free
+    code paths return instead of ['t option]. Test with [==], never with
+    {!equal} — the same value can also be built legitimately. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash_fold : int64 -> t -> int64
@@ -20,3 +25,11 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Parses ["a.b.c.d:port"] (or an IPv6 literal in square brackets,
     ["[h:...:h]:port"]). *)
+
+val write : Buffer.t -> t -> unit
+(** Binary codec used by packed traces: family tag byte (4 or 6), the
+    address in network byte order, then the port as big-endian u16. *)
+
+val read : Bytes.t -> int -> t * int
+(** [read b pos] decodes an endpoint written by {!write} and returns it
+    with the position just past it. Raises [Failure] on a bad tag. *)

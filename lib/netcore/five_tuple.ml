@@ -15,6 +15,21 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let write buf { src; dst; proto } =
+  Endpoint.write buf src;
+  Endpoint.write buf dst;
+  Buffer.add_uint8 buf (Protocol.to_byte proto)
+
+let read b pos =
+  let src, pos = Endpoint.read b pos in
+  let dst, pos = Endpoint.read b pos in
+  let proto =
+    match Protocol.of_byte (Bytes.get_uint8 b pos) with
+    | Some p -> p
+    | None -> failwith "Five_tuple.read: bad protocol byte"
+  in
+  ({ src; dst; proto }, pos + 1)
+
 let hash ~seed { src; dst; proto } =
   let acc = Endpoint.hash_fold 0x5117_0a4dL src in
   let acc = Endpoint.hash_fold acc dst in

@@ -1,9 +1,12 @@
-let mix64 z =
+(* [@inline] matters on the replay hot path: once mix64/seeded inline
+   into their callers, the compiler can keep the Int64 intermediates
+   unboxed inside one function body instead of boxing each step. *)
+let[@inline] mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let seeded ~seed x =
+let[@inline] seeded ~seed x =
   (* The golden-ratio stride decorrelates nearby seeds before mixing. *)
   let key = Int64.mul (Int64.of_int (seed + 1)) 0x9e3779b97f4a7c15L in
   mix64 (Int64.logxor (mix64 key) x)

@@ -13,7 +13,7 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
-let hash_fold acc = function
+let[@inline] hash_fold acc = function
   | V4 x -> Hashing.mix64 (Int64.logxor acc (Int64.of_int32 x))
   | V6 (h, l) -> Hashing.mix64 (Int64.logxor (Hashing.mix64 (Int64.logxor acc h)) l)
 

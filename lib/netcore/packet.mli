@@ -21,6 +21,10 @@ val wire_size : t -> int
 (** Total bytes on the wire: Ethernet + IP + TCP/UDP headers + payload.
     Used by meters and throughput accounting. *)
 
+val wire_size_of : payload_len:int -> Five_tuple.t -> int
+(** {!wire_size} without building a packet record — the batched replay
+    path meters flows it never boxes into [t]. *)
+
 val rewrite_dst : t -> Endpoint.t -> t
 (** Destination NAT: the balancer forwards the packet with the VIP
     replaced by the chosen DIP. *)

@@ -7,6 +7,7 @@ end)
 
 type t = {
   table : int Table.t;
+  probe : int Table.probe;  (** reusable lookup buffer for {!lookup_code} *)
   digest_bits : int;
   version_bits : int;
   (* software shadow index: (stage, row, digest) -> tracked connections
@@ -61,6 +62,7 @@ let create ?metrics (cfg : Config.t) =
         Table.create ~seed:cfg.Config.seed ~digest_bits:cfg.Config.digest_bits
           ~stages:cfg.Config.conn_table_stages ~rows_per_stage:cfg.Config.conn_table_rows
           ~ways:cfg.Config.conn_table_ways ();
+      probe = Table.make_probe 0;
       digest_bits = cfg.Config.digest_bits;
       version_bits = cfg.Config.version_bits;
       probe_index = Hashtbl.create 4096;
@@ -88,6 +90,20 @@ let lookup t flow =
   | Some hit ->
     if not hit.Table.exact then Telemetry.Registry.Counter.incr t.c_false_hits;
     Some { version = hit.Table.value; exact = hit.Table.exact }
+
+(* Allocation-free [lookup]: [-1] on a miss, otherwise
+   [(version lsl 1) lor exact_bit]. Versions are small non-negative ints
+   (at most [version_bits] wide), so the encoding is lossless. Counts
+   false positives exactly like [lookup]. *)
+let lookup_code t flow =
+  Table.lookup_into t.table flow t.probe;
+  if not t.probe.Table.probe_hit then -1
+  else begin
+    if not t.probe.Table.probe_exact then Telemetry.Registry.Counter.incr t.c_false_hits;
+    (t.probe.Table.probe_value lsl 1) lor (if t.probe.Table.probe_exact then 1 else 0)
+  end
+
+let probe_positions t flow = Table.probe_positions t.table flow
 
 let mem_exact t flow = Table.mem_exact t.table flow
 

@@ -31,6 +31,17 @@ val occupancy : t -> float
 val lookup : t -> Netcore.Five_tuple.t -> lookup_result option
 (** Hardware lookup. Counts false positives as a side effect. *)
 
+val lookup_code : t -> Netcore.Five_tuple.t -> int
+(** Allocation-free {!lookup}: [-1] on a miss, otherwise
+    [(version lsl 1) lor exact_bit]. Counts false positives exactly like
+    {!lookup}. *)
+
+val probe_positions : t -> Netcore.Five_tuple.t -> (int * int * int) list
+(** [(stage, row, digest)] the hardware probes for this flow — a pure
+    function of the table geometry and seed, independent of contents.
+    Two flows can falsely hit each other iff they share a
+    [(stage, row, digest)] triple. *)
+
 val mem_exact : t -> Netcore.Five_tuple.t -> bool
 
 val insert : t -> Netcore.Five_tuple.t -> version:int -> (int, [ `Full | `Duplicate ]) result

@@ -6,6 +6,12 @@ type pool_info = {
 type vip_state = {
   versions : (int, pool_info) Hashtbl.t;
   allocator : Version.t;
+  (* one-slot (version -> pool_info) cache for the packet fast path;
+     [cv = -1] means empty. Invalidated when the cached version is
+     destroyed (version numbers are recycled, so a stale entry could
+     otherwise alias a reallocated version's new pool). *)
+  mutable cv : int;
+  mutable ci : pool_info option;
 }
 
 type t = {
@@ -13,10 +19,13 @@ type t = {
   vips : (Netcore.Endpoint.t, vip_state) Hashtbl.t;
   version_bits : int;
   mutable reuses : int;
+  (* one-slot VIP cache: safe to keep forever because VIPs are never
+     removed from the table. *)
+  mutable vip_cache : (Netcore.Endpoint.t * vip_state) option;
 }
 
 let create ~version_bits ~seed =
-  { seed; vips = Hashtbl.create 64; version_bits; reuses = 0 }
+  { seed; vips = Hashtbl.create 64; version_bits; reuses = 0; vip_cache = None }
 
 let add_vip t vip pool =
   if Hashtbl.mem t.vips vip then Error `Exists
@@ -25,7 +34,7 @@ let add_vip t vip pool =
     let v = match Version.allocate allocator with Ok v -> v | Error `Exhausted -> assert false in
     let versions = Hashtbl.create 8 in
     Hashtbl.replace versions v { pool; refs = 0 };
-    Hashtbl.replace t.vips vip { versions; allocator };
+    Hashtbl.replace t.vips vip { versions; allocator; cv = -1; ci = None };
     Ok v
   end
 
@@ -46,6 +55,39 @@ let select_dip t ~vip ~version flow =
   match pool t ~vip ~version with
   | None -> None
   | Some p -> if Lb.Dip_pool.is_empty p then None else Some (Lb.Dip_pool.select_flow ~seed:t.seed p flow)
+
+let find_vip_state t vip =
+  match t.vip_cache with
+  | Some (v, vs) when Netcore.Endpoint.equal v vip -> Some vs
+  | Some _ | None ->
+    (match Hashtbl.find_opt t.vips vip with
+     | Some vs as r ->
+       t.vip_cache <- Some (vip, vs);
+       r
+     | None -> None)
+
+(* Allocation-free [select_dip]: returns the caller's [none] sentinel
+   (intended to be [Netcore.Endpoint.none], compared with [==]) instead
+   of wrapping the DIP in an option. Same selection as [select_dip]. *)
+let select_dip_fast t ~vip ~version flow ~none =
+  match find_vip_state t vip with
+  | None -> none
+  | Some vs ->
+    let i =
+      if vs.cv = version then vs.ci
+      else
+        match Hashtbl.find_opt vs.versions version with
+        | Some _ as r ->
+          vs.cv <- version;
+          vs.ci <- r;
+          r
+        | None -> None
+    in
+    (match i with
+     | None -> none
+     | Some i ->
+       if Lb.Dip_pool.is_empty i.pool then none
+       else Lb.Dip_pool.select_flow ~seed:t.seed i.pool flow)
 
 (* Version reuse (§4.2). Two forms:
    - equal-pool reuse: an allocated version already holds exactly the
@@ -132,6 +174,10 @@ let destroy_if_dead t ~vip vs version ~current =
   | Some i when i.refs = 0 && version <> current ->
     Hashtbl.remove vs.versions version;
     Version.release vs.allocator version;
+    if vs.cv = version then begin
+      vs.cv <- -1;
+      vs.ci <- None
+    end;
     ignore vip;
     ignore t
   | Some _ | None -> ()

@@ -28,6 +28,18 @@ val select_dip :
 (** Hash the flow over the pool of the given version. [None] when the
     version is unknown or its pool is empty. *)
 
+val select_dip_fast :
+  t ->
+  vip:Netcore.Endpoint.t ->
+  version:int ->
+  Netcore.Five_tuple.t ->
+  none:Netcore.Endpoint.t ->
+  Netcore.Endpoint.t
+(** Allocation-free {!select_dip}: returns [none] (meant to be the
+    physically-unique {!Netcore.Endpoint.none}, tested with [==]) when
+    the version is unknown or its pool is empty. Caches the last
+    (VIP, version) resolution internally. *)
+
 val publish :
   t -> vip:Netcore.Endpoint.t -> current:int -> Lb.Balancer.update ->
   (int, [ `No_such_vip | `Versions_exhausted | `Bad_update of string ]) result

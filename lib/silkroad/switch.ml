@@ -63,6 +63,15 @@ type t = {
   jobs : (Netcore.Endpoint.t, update_job) Hashtbl.t;  (** active job per VIP *)
   job_queue : (Netcore.Endpoint.t, Lb.Balancer.update Queue.t) Hashtbl.t;
   mutable clock : float;  (** latest time the control plane has seen *)
+  (* fast-path side channel: where the last processed packet went.
+     [process_flow] returns only the DIP (or [no_dip]); callers that
+     want the location read this immediately after. *)
+  mutable last_location : Lb.Balancer.location;
+  (* one-slot VIP-handle cache: replay traffic is heavily clustered by
+     VIP, so most packets skip the VIPTable hash lookup. VIPs are never
+     removed, so a cached handle never goes stale. *)
+  mutable vh_vip : Netcore.Endpoint.t;
+  mutable vh : Vip_table.handle option;
   (* telemetry: one registry owns every counter/gauge/histogram of this
      switch and its ASIC primitives; the handles below are cached so the
      data plane pays one int-ref bump per event, same as a mutable field *)
@@ -136,6 +145,9 @@ let create ?metrics ?(check = `Warn) cfg =
     jobs = Hashtbl.create 16;
     job_queue = Hashtbl.create 16;
     clock = 0.;
+    last_location = Lb.Balancer.Asic;
+    vh_vip = Netcore.Endpoint.none;
+    vh = None;
     metrics = reg;
     c_asic_packets = counter "switch.asic_packets";
     c_cpu_packets = counter "switch.cpu_packets";
@@ -407,23 +419,28 @@ let advance t ~now =
 
 (* ----- data plane ----- *)
 
-let outcome_drop = { Lb.Balancer.dip = None; location = Lb.Balancer.Asic }
+(* The fast path returns this physically-unique sentinel instead of an
+   [Endpoint.t option]; callers must compare with [==]. *)
+let no_dip = Netcore.Endpoint.none
 
 let drop t =
   Telemetry.Registry.Counter.incr t.c_dropped_packets;
   Telemetry.Registry.Counter.incr t.c_lb_dropped;
-  outcome_drop
+  t.last_location <- Lb.Balancer.Asic;
+  no_dip
 
 let forward t ~vip ~version flow ~location =
-  match Dip_pool_table.select_dip t.pools ~vip ~version flow with
-  | Some dip ->
+  let dip = Dip_pool_table.select_dip_fast t.pools ~vip ~version flow ~none:no_dip in
+  if dip == no_dip then drop t
+  else begin
     Telemetry.Registry.Counter.incr t.c_lb_packets;
     (match location with
      | Lb.Balancer.Asic -> Telemetry.Registry.Counter.incr t.c_asic_packets
      | Lb.Balancer.Switch_cpu | Lb.Balancer.Slb ->
        Telemetry.Registry.Counter.incr t.c_cpu_packets);
-    { Lb.Balancer.dip = Some dip; location }
-  | None -> drop t
+    t.last_location <- location;
+    dip
+  end
 
 (* learning: raise an event for a connection whose entry is missing *)
 let learn t ~now flow (st : conn_state) =
@@ -437,90 +454,85 @@ let learn t ~now flow (st : conn_state) =
     | `Dropped -> Telemetry.Registry.Counter.incr t.c_learning_drops
   end
 
-(* the version VIPTable + TransitTable assign to a ConnTable miss *)
-let version_for_miss t flow ~vip ~syn =
-  match Vip_table.phase t.vips vip with
-  | None -> None
-  | Some Vip_table.Idle -> Some (current_version t vip, `Plain)
-  | Some Vip_table.Recording ->
+(* the version VIPTable + TransitTable assign to a ConnTable miss,
+   encoded allocation-free as [(version lsl 2) lor how] with [how]:
+   0 = plain, 1 = recorded, 2 = cpu-checked *)
+let how_plain = 0
+let how_recorded = 1
+let how_cpu_checked = 2
+
+let version_for_miss_code t flow ~vh ~syn =
+  match Vip_table.handle_phase vh with
+  | Vip_table.Idle -> (Vip_table.handle_current vh lsl 2) lor how_plain
+  | Vip_table.Recording ->
     (* step 1: old pool, and remember the connection *)
     if t.cfg.Config.use_transit then Asic.Bloom_filter.add t.transit (flow_hash t flow);
-    Some (current_version t vip, `Recorded)
-  | Some (Vip_table.Dual { old_version }) ->
+    (Vip_table.handle_current vh lsl 2) lor how_recorded
+  | Vip_table.Dual { old_version } ->
     if t.cfg.Config.use_transit && Asic.Bloom_filter.mem t.transit (flow_hash t flow) then
       if syn then
         (* a SYN cannot be a pending connection: redirect to software,
            which confirms it is new and uses the new version (§4.3) *)
-        Some (current_version t vip, `Cpu_checked)
-      else Some (old_version, `Plain)
-    else Some (current_version t vip, `Plain)
+        (Vip_table.handle_current vh lsl 2) lor how_cpu_checked
+      else (old_version lsl 2) lor how_plain
+    else (Vip_table.handle_current vh lsl 2) lor how_plain
 
-let handle_miss t ~now pkt flow ~vip ~syn =
-  match version_for_miss t flow ~vip ~syn with
-  | None -> outcome_drop
-  | Some (version, how) ->
-    let location =
-      match how with
-      | `Cpu_checked -> Lb.Balancer.Switch_cpu
-      | `Plain | `Recorded -> Lb.Balancer.Asic
-    in
-    let ends = Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags in
-    (match Hashtbl.find_opt t.flows flow with
-     | Some st ->
-       (* a pending connection's later packet *)
-       st.last_seen <- now;
-       if ends then st.ended <- true;
-       (match how with
-        | `Recorded ->
-          (match Hashtbl.find_opt t.jobs vip with
-           | Some job when not st.inserted -> Hashtbl.replace job.recorded flow ()
-           | Some _ | None -> ())
-        | `Plain | `Cpu_checked -> ());
-       learn t ~now flow st;
-       (* the software slow path knows the connection's true version; the
-          hardware fast path forwards with the freshly computed one — if
-          that differs from the connection's own, that is exactly a PCC
-          hazard *)
-       let version =
-         match how with `Cpu_checked -> st.cs_version | `Plain | `Recorded -> version
-       in
-       forward t ~vip ~version flow ~location
-     | None ->
-       if ends then
-         (* first-and-last packet: nothing worth learning *)
-         forward t ~vip ~version flow ~location
-       else begin
-         Telemetry.Registry.Counter.incr t.c_connections_seen;
-         let st =
-           {
-             cs_vip = vip;
-             cs_version = version;
-             inserted = false;
-             in_pipeline = false;
-             ended = false;
-             last_seen = now;
-           }
-         in
-         Hashtbl.replace t.flows flow st;
-         Asic.Timer_wheel.schedule t.aging ~key:flow ~at:(now +. t.cfg.Config.idle_timeout);
-         Dip_pool_table.retain t.pools ~vip ~version;
-         (match how with
-          | `Recorded ->
-            (match Hashtbl.find_opt t.jobs vip with
-             | Some job -> Hashtbl.replace job.recorded flow ()
-             | None -> ())
-          | `Plain | `Cpu_checked -> ());
-         learn t ~now flow st;
-         forward t ~vip ~version flow ~location
-       end)
+let handle_miss t ~now ~ends flow ~vip ~vh ~syn =
+  let code = version_for_miss_code t flow ~vh ~syn in
+  let version = code lsr 2 in
+  let how = code land 3 in
+  let location =
+    if how = how_cpu_checked then Lb.Balancer.Switch_cpu else Lb.Balancer.Asic
+  in
+  match Hashtbl.find_opt t.flows flow with
+  | Some st ->
+    (* a pending connection's later packet *)
+    st.last_seen <- now;
+    if ends then st.ended <- true;
+    if how = how_recorded then
+      (match Hashtbl.find_opt t.jobs vip with
+       | Some job when not st.inserted -> Hashtbl.replace job.recorded flow ()
+       | Some _ | None -> ());
+    learn t ~now flow st;
+    (* the software slow path knows the connection's true version; the
+       hardware fast path forwards with the freshly computed one — if
+       that differs from the connection's own, that is exactly a PCC
+       hazard *)
+    let version = if how = how_cpu_checked then st.cs_version else version in
+    forward t ~vip ~version flow ~location
+  | None ->
+    if ends then
+      (* first-and-last packet: nothing worth learning *)
+      forward t ~vip ~version flow ~location
+    else begin
+      Telemetry.Registry.Counter.incr t.c_connections_seen;
+      let st =
+        {
+          cs_vip = vip;
+          cs_version = version;
+          inserted = false;
+          in_pipeline = false;
+          ended = false;
+          last_seen = now;
+        }
+      in
+      Hashtbl.replace t.flows flow st;
+      Asic.Timer_wheel.schedule t.aging ~key:flow ~at:(now +. t.cfg.Config.idle_timeout);
+      Dip_pool_table.retain t.pools ~vip ~version;
+      if how = how_recorded then
+        (match Hashtbl.find_opt t.jobs vip with
+         | Some job -> Hashtbl.replace job.recorded flow ()
+         | None -> ());
+      learn t ~now flow st;
+      forward t ~vip ~version flow ~location
+    end
 
 (* a SYN falsely hit an existing entry: the switch CPU repairs the
    digest collision and installs the newcomer's own entry (§4.2) *)
-let handle_false_hit_syn t ~now pkt flow ~vip =
-  ignore pkt;
-  match version_for_miss t flow ~vip ~syn:true with
-  | None -> outcome_drop
-  | Some (version, _) ->
+let handle_false_hit_syn t ~now flow ~vip ~vh =
+  let code = version_for_miss_code t flow ~vh ~syn:true in
+  let version = code lsr 2 in
+  begin
     let st =
       match Hashtbl.find_opt t.flows flow with
       | Some st ->
@@ -554,48 +566,92 @@ let handle_false_hit_syn t ~now pkt flow ~vip =
        barrier_resolved t ~now ~vip flow
      | Error `Full -> Telemetry.Registry.Counter.incr t.c_table_full_drops);
     forward t ~vip ~version:st.cs_version flow ~location:Lb.Balancer.Switch_cpu
+  end
+
+(* Allocation-free packet path: returns the chosen DIP, or the
+   physically-unique [no_dip] sentinel on a drop (compare with [==]);
+   the location is left in [t.last_location]. [process] wraps this into
+   the [Lb.Balancer.outcome] record; the replay engine calls it (and
+   [process_batch]) directly to keep the hot loop off the GC. *)
+let process_flow t ~now ~flags ~payload_len flow =
+  advance t ~now;
+  let vip = flow.Netcore.Five_tuple.dst in
+  let vh =
+    match t.vh with
+    | Some _ when Netcore.Endpoint.equal t.vh_vip vip -> t.vh
+    | Some _ | None ->
+      (match Vip_table.handle t.vips vip with
+       | Some _ as r ->
+         t.vh_vip <- vip;
+         t.vh <- r;
+         r
+       | None -> None)
+  in
+  match vh with
+  | None -> drop t
+  | Some vh ->
+    if
+      (* §5.2 performance isolation: the VIP's meter drops Red packets in
+         the ASIC before any table is consulted. Guarded by the table
+         size so the meter-free fast path skips the hash lookup. *)
+      Hashtbl.length t.meters > 0
+      && (match Hashtbl.find_opt t.meters vip with
+          | Some m ->
+            Asic.Meter.mark m ~now ~bytes:(Netcore.Packet.wire_size_of ~payload_len flow)
+            = Asic.Meter.Red
+          | None -> false)
+    then begin
+      Telemetry.Registry.Counter.incr t.c_metered_drops;
+      Telemetry.Registry.Counter.incr
+        (Telemetry.Registry.counter t.metrics
+           ~labels:[ ("vip", Format.asprintf "%a" Netcore.Endpoint.pp vip) ]
+           "switch.vip.metered_drops");
+      drop t
+    end
+    else begin
+      let syn = Netcore.Tcp_flags.is_connection_start flags in
+      let ends = Netcore.Tcp_flags.is_connection_end flags in
+      let code = Conn_table.lookup_code t.conns flow in
+      if code < 0 then handle_miss t ~now ~ends flow ~vip ~vh ~syn
+      else begin
+        let version = code lsr 1 in
+        if code land 1 = 1 then begin
+          (* exact hit *)
+          (match Hashtbl.find t.flows flow with
+           | st ->
+             st.last_seen <- now;
+             if ends && not st.ended then begin
+               st.ended <- true;
+               submit_delete t ~now flow
+             end
+           | exception Not_found -> ());
+          forward t ~vip ~version flow ~location:Lb.Balancer.Asic
+        end
+        else if syn then handle_false_hit_syn t ~now flow ~vip ~vh
+        else
+          (* wrong entry, wrong version — forwarded anyway (rare digest
+             false positive); VIPTable is bypassed *)
+          forward t ~vip ~version flow ~location:Lb.Balancer.Asic
+      end
+    end
+
+let last_location t = t.last_location
 
 let process t ~now pkt =
-  advance t ~now;
-  let flow = pkt.Netcore.Packet.flow in
-  let vip = flow.Netcore.Five_tuple.dst in
-  if not (Vip_table.mem t.vips vip) then drop t
-  else if
-    (* §5.2 performance isolation: the VIP's meter drops Red packets in
-       the ASIC before any table is consulted *)
-    match Hashtbl.find_opt t.meters vip with
-    | Some m -> Asic.Meter.mark m ~now ~bytes:(Netcore.Packet.wire_size pkt) = Asic.Meter.Red
-    | None -> false
-  then begin
-    Telemetry.Registry.Counter.incr t.c_metered_drops;
-    Telemetry.Registry.Counter.incr
-      (Telemetry.Registry.counter t.metrics
-         ~labels:[ ("vip", Format.asprintf "%a" Netcore.Endpoint.pp vip) ]
-         "switch.vip.metered_drops");
-    drop t
-  end
-  else begin
-    let syn = Netcore.Tcp_flags.is_connection_start pkt.Netcore.Packet.flags in
-    let ends = Netcore.Tcp_flags.is_connection_end pkt.Netcore.Packet.flags in
-    match Conn_table.lookup t.conns flow with
-    | Some { Conn_table.version; exact = true } ->
-      (match Hashtbl.find_opt t.flows flow with
-       | Some st ->
-         st.last_seen <- now;
-         if ends && not st.ended then begin
-           st.ended <- true;
-           submit_delete t ~now flow
-         end
-       | None -> ());
-      forward t ~vip ~version flow ~location:Lb.Balancer.Asic
-    | Some { Conn_table.version; exact = false } ->
-      if syn then handle_false_hit_syn t ~now pkt flow ~vip
-      else
-        (* wrong entry, wrong version — forwarded anyway (rare digest
-           false positive); VIPTable is bypassed *)
-        forward t ~vip ~version flow ~location:Lb.Balancer.Asic
-    | None -> handle_miss t ~now pkt flow ~vip ~syn
-  end
+  let dip =
+    process_flow t ~now ~flags:pkt.Netcore.Packet.flags
+      ~payload_len:pkt.Netcore.Packet.payload_len pkt.Netcore.Packet.flow
+  in
+  if dip == no_dip then { Lb.Balancer.dip = None; location = t.last_location }
+  else { Lb.Balancer.dip = Some dip; location = t.last_location }
+
+let process_batch t ~times ~flows ~flags ~payload_len ~dips ~pos ~len =
+  for i = pos to pos + len - 1 do
+    dips.(i) <-
+      process_flow t ~now:(Array.unsafe_get times i)
+        ~flags:(Array.unsafe_get flags i) ~payload_len
+        (Array.unsafe_get flows i)
+  done
 
 let request_update t ~now ~vip update =
   advance t ~now;

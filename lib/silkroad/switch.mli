@@ -67,6 +67,47 @@ val advance : t -> now:float -> unit
 val process : t -> now:float -> Netcore.Packet.t -> Lb.Balancer.outcome
 (** Forward one packet (implies [advance]). *)
 
+(** {2 Allocation-free fast path}
+
+    The replay engine processes millions of packets; boxing each one
+    into {!Netcore.Packet.t} and each result into an option + outcome
+    record dominates the run time. The fast path takes the unpacked
+    header fields and returns a bare endpoint, using the
+    physically-unique {!no_dip} sentinel (compare with [==]) for drops. *)
+
+val no_dip : Netcore.Endpoint.t
+(** Alias of {!Netcore.Endpoint.none}: the drop sentinel returned by
+    {!process_flow}. Test with [==], never with structural equality. *)
+
+val process_flow :
+  t ->
+  now:float ->
+  flags:Netcore.Tcp_flags.t ->
+  payload_len:int ->
+  Netcore.Five_tuple.t ->
+  Netcore.Endpoint.t
+(** Exactly {!process} (same counters, same control-plane side effects)
+    without the packet/outcome boxing. Returns the chosen DIP or
+    {!no_dip}; {!last_location} reports where the packet went. *)
+
+val last_location : t -> Lb.Balancer.location
+(** Location taken by the most recent {!process_flow}/{!process} call. *)
+
+val process_batch :
+  t ->
+  times:float array ->
+  flows:Netcore.Five_tuple.t array ->
+  flags:Netcore.Tcp_flags.t array ->
+  payload_len:int ->
+  dips:Netcore.Endpoint.t array ->
+  pos:int ->
+  len:int ->
+  unit
+(** Run {!process_flow} over [times/flows/flags] indices
+    [pos .. pos+len-1] (times must be non-decreasing), writing each
+    result into [dips]. One bounds check per array per batch; the loop
+    body allocates nothing on the exact-hit path. *)
+
 val request_update : t -> now:float -> vip:Netcore.Endpoint.t -> Lb.Balancer.update -> unit
 (** Request a DIP-pool update; updates to a VIP already updating are
     queued and run in order. *)

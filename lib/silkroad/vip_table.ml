@@ -27,6 +27,12 @@ let find t vip =
   | Some e -> e
   | None -> invalid_arg "Vip_table: unknown VIP"
 
+type handle = entry
+
+let handle t vip = Hashtbl.find_opt t.entries vip
+let handle_current (e : handle) = e.current
+let handle_phase (e : handle) = e.phase
+
 let current t vip =
   match Hashtbl.find_opt t.entries vip with
   | Some e -> Some e.current

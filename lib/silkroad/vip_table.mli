@@ -28,6 +28,16 @@ val count : t -> int
 val current : t -> Netcore.Endpoint.t -> int option
 (** The version new connections are assigned (the newest). *)
 
+type handle
+(** A stable reference to a VIP's table entry. Entries are never removed,
+    so a handle stays valid for the lifetime of the table; its observed
+    version/phase track updates live. Lets the packet fast path skip the
+    per-packet hash lookup. *)
+
+val handle : t -> Netcore.Endpoint.t -> handle option
+val handle_current : handle -> int
+val handle_phase : handle -> phase
+
 val phase : t -> Netcore.Endpoint.t -> phase option
 
 val start_recording : t -> Netcore.Endpoint.t -> unit

@@ -112,5 +112,10 @@ let merge_into ~into src =
           h)
     src.entries
 
+let merge_all regs =
+  let into = create () in
+  List.iter (fun r -> merge_into ~into r) regs;
+  into
+
 let to_json t = Snapshot.to_json (snapshot t)
 let to_csv t = Snapshot.to_csv (snapshot t)

@@ -58,5 +58,10 @@ val merge_into : into:t -> t -> unit
     occupancies and sizes. Raises [Invalid_argument] on a kind or
     histogram-spec mismatch. *)
 
+val merge_all : t list -> t
+(** A fresh registry holding the {!merge_into}-fold of the list — how
+    sharded replay aggregates its per-shard switch registries into one
+    snapshot. *)
+
 val to_json : t -> string
 val to_csv : t -> string

@@ -75,6 +75,33 @@ let bloom_fp_rate () =
   check Alcotest.bool "fp rate below 3%" true (!fp < 300);
   check Alcotest.bool "estimate sane" true (Asic.Bloom_filter.false_positive_probability b < 0.05)
 
+(* The TransitTable operating point (256 bytes, k = 2) against the
+   analytic false-positive rate (1 - e^(-kn/m))^k: with n = 200 resident
+   keys, p ≈ 3.1%; 50k random probes put the observed rate within 2x of
+   that with overwhelming margin (the binomial std dev is ~0.08%). *)
+let bloom_fp_rate_analytic () =
+  let m = 2048 and k = 2 and n = 200 in
+  let b = Asic.Bloom_filter.create ~bits:m ~hashes:k () in
+  let rng = Random.State.make [| 0xb100; 0xf11e |] in
+  for _ = 1 to n do
+    Asic.Bloom_filter.add b (Random.State.int64 rng Int64.max_int)
+  done;
+  let probes = 50_000 in
+  let fp = ref 0 in
+  for _ = 1 to probes do
+    (* negated keys never collide with the non-negative resident set *)
+    if Asic.Bloom_filter.mem b (Int64.lognot (Random.State.int64 rng Int64.max_int)) then
+      incr fp
+  done;
+  let analytic =
+    (1. -. exp (-.float_of_int (k * n) /. float_of_int m)) ** float_of_int k
+  in
+  let observed = float_of_int !fp /. float_of_int probes in
+  check Alcotest.bool
+    (Printf.sprintf "observed %.4f within 2x of analytic %.4f" observed analytic)
+    true
+    (observed >= analytic /. 2. && observed <= analytic *. 2.)
+
 let qcheck_bloom_membership =
   QCheck.Test.make ~name:"bloom never forgets" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) int64)
@@ -495,6 +522,7 @@ let suites =
         tc "no false negatives" `Quick bloom_no_false_negative;
         tc "clear" `Quick bloom_clear;
         tc "fp rate" `Quick bloom_fp_rate;
+        tc "fp rate matches analytic" `Quick bloom_fp_rate_analytic;
         QCheck_alcotest.to_alcotest qcheck_bloom_membership;
       ] );
     ( "asic.cuckoo",
