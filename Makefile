@@ -9,10 +9,12 @@ test:
 	dune runtest
 
 # Full verification: build everything, run the test suite, then a smoke
-# bench run that exercises the telemetry pipeline end to end and leaves
-# its registry snapshot in BENCH_telemetry.json.
+# bench run that exercises the telemetry pipeline end to end (leaving
+# its registry snapshot in BENCH_telemetry.json) and the control-plane
+# smoke bench (serve-mode update churn under replay load).
 check: build test
 	dune exec bench/main.exe -- --smoke
+	dune exec bench/main.exe -- --control --smoke
 
 bench:
 	dune exec bench/main.exe
@@ -52,3 +54,4 @@ fmt-check:
 clean:
 	dune clean
 	rm -f BENCH_telemetry.json CHAOS_soak.*.json chaos_report*.json
+	rm -f BENCH_control.json.tmp BENCH_replay.json.tmp *.sock

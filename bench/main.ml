@@ -228,6 +228,159 @@ let replay_section ppf ~smoke =
     replay_modes;
   List.rev !fields
 
+(* ----- the control bench (BENCH_control.json) -----
+
+   The serve-mode control plane under load: a Session with the smoke
+   replay workload flowing through it, fed a rendered command script of
+   alternating dip-remove/dip-add churn (one update per cadence tick,
+   round-robin over the VIPs). Wall-clock throughput of the command loop
+   is the gated number; apply/recycle latency and TransitTable pressure
+   come from the session's own control.* histograms (virtual seconds). *)
+
+let control_section ppf ~smoke =
+  let label = if smoke then "smoke" else "full" in
+  let conns_per_sec_per_vip, trace_seconds, cadence =
+    if smoke then (50., 30., 0.25) else (500., 60., 0.0625)
+  in
+  let n_vips = 4 and dips_per_vip = 8 in
+  let s =
+    Experiments.Common.scenario ~n_vips ~dips_per_vip ~conns_per_sec_per_vip
+      ~updates_per_min:0. ~trace_seconds ()
+  in
+  let vips = Experiments.Common.vips_of ~n_vips ~dips_per_vip in
+  let trace =
+    Harness.Packed_trace.compile ~horizon:s.Experiments.Common.horizon
+      s.Experiments.Common.flows
+  in
+  let vip_arr = Array.of_list vips in
+  let n_updates = int_of_float (trace_seconds /. cadence) in
+  (* Four 1/1024 s ticks right after each update walk the session's
+     sample points through the update's Recording/Dual window (apply
+     latency is ~1 ms), so control.transit_population actually observes
+     the in-flight Bloom filter, not just the idle (cleared) state. All
+     steps are dyadic, so the per-step deltas sum to exactly [cadence]. *)
+  let tick = 1. /. 1024. in
+  let advance dt = Control.Protocol.render { Control.Protocol.seq = None; cmd = Advance dt } in
+  (* Per-VIP update cycle: remove a member / add it back (absorbed by
+     version reuse — the flapping §4.2 optimizes for), then replace one
+     member with a never-seen DIP (a pool that cannot recur, so its old
+     version must drain and recycle — what the recycle histogram is
+     measuring). The mirror of each pool keeps every generated command
+     valid; the session re-validates and the bench fails loudly. *)
+  let members = Array.map (fun (_, pool) -> ref (Array.to_list (Lb.Dip_pool.members pool))) vip_arr in
+  let removed = Array.make n_vips None in
+  let fresh = ref 0 in
+  let script =
+    List.concat
+      (List.init n_updates (fun step ->
+           let v_i = step mod n_vips in
+           let vip, _ = vip_arr.(v_i) in
+           let ms = members.(v_i) in
+           let per = step / n_vips in
+           let nth k = List.nth !ms (k mod List.length !ms) in
+           let cmd =
+             match per mod 3 with
+             | 0 ->
+               let d = nth (per / 3) in
+               ms := List.filter (fun x -> not (Netcore.Endpoint.equal x d)) !ms;
+               removed.(v_i) <- Some d;
+               Control.Protocol.Dip_remove (vip, d)
+             | 1 ->
+               let d = Option.get removed.(v_i) in
+               ms := !ms @ [ d ];
+               Control.Protocol.Dip_add (vip, d)
+             | _ ->
+               incr fresh;
+               let old_dip = nth (per / 3) in
+               let new_dip = Experiments.Common.dip (9000 + !fresh) in
+               ms :=
+                 List.map (fun x -> if Netcore.Endpoint.equal x old_dip then new_dip else x) !ms;
+               Control.Protocol.Dip_replace { vip; old_dip; new_dip }
+           in
+           advance (cadence -. (4. *. tick))
+           :: Control.Protocol.render { Control.Protocol.seq = Some step; cmd }
+           :: List.init 4 (fun _ -> advance tick)))
+  in
+  Format.fprintf ppf "@.=== Control bench (%s): %d update commands over %d flows ===@." label
+    n_updates
+    (List.length s.Experiments.Common.flows);
+  (* Sessions are deterministic, so every repetition produces identical
+     counters and histograms; only the wall clock varies. The smoke
+     script runs in well under 100 ms, far too short for a stable 70%
+     CI gate, so take the best of three fresh sessions and report that
+     repetition's (identical) metrics. *)
+  let run_once () =
+    let session = Control.Session.create ~vips ~trace () in
+    let (), wall =
+      Harness.Stopwatch.time (fun () ->
+          List.iter
+            (fun l ->
+              match Control.Session.exec_line session l with
+              | Some { Control.Protocol.body = Error m; _ } ->
+                Format.fprintf ppf "FATAL: %S rejected: %s@." l m;
+                exit 1
+              | Some { Control.Protocol.body = Ok _; _ } | None -> ())
+            script)
+    in
+    (session, wall)
+  in
+  let reps = if smoke then 3 else 1 in
+  let best = ref (run_once ()) in
+  for _ = 2 to reps do
+    let ((_, w2) as r) = run_once () in
+    if w2 < snd !best then best := r
+  done;
+  let session, wall = !best in
+  let live = Control.Session.counts session in
+  (match Control.Session.exec_line session "drain" with
+   | Some { Control.Protocol.body = Ok _; _ } -> ()
+   | _ ->
+     Format.fprintf ppf "FATAL: drain failed@.";
+     exit 1);
+  if Control.Session.pending_updates session <> 0 then begin
+    Format.fprintf ppf "FATAL: %d updates still pending after drain@."
+      (Control.Session.pending_updates session);
+    exit 1
+  end;
+  let reg = Control.Session.control_metrics session in
+  let hist name =
+    match Telemetry.Registry.find_histogram reg name with
+    | Some h -> h
+    | None ->
+      Format.fprintf ppf "FATAL: session never fed %s@." name;
+      exit 1
+  in
+  let apply = hist "control.update_apply_seconds" in
+  let recycle = hist "control.version_recycle_seconds" in
+  let transit = hist "control.transit_population" in
+  let updates_per_sec = float_of_int n_updates /. wall in
+  let fields = ref [] in
+  let field k v = fields := (label ^ "_" ^ k, v) :: !fields in
+  field "update_commands" (Telemetry.Json.Int n_updates);
+  field "updates_per_sec" (Telemetry.Json.Float updates_per_sec);
+  field "packets_during_commands" (Telemetry.Json.Int live.Harness.Replay.c_packets);
+  field "packets_per_sec" (Telemetry.Json.Float (float_of_int live.Harness.Replay.c_packets /. wall));
+  field "connections" (Telemetry.Json.Int (Control.Session.counts session).Harness.Replay.c_connections);
+  field "broken" (Telemetry.Json.Int (Control.Session.counts session).Harness.Replay.c_broken);
+  field "apply_count" (Telemetry.Json.Int (Telemetry.Histogram.count apply));
+  field "apply_p50_s" (Telemetry.Json.Float (Telemetry.Histogram.median apply));
+  field "apply_p99_s" (Telemetry.Json.Float (Telemetry.Histogram.p99 apply));
+  field "recycle_count" (Telemetry.Json.Int (Telemetry.Histogram.count recycle));
+  field "recycle_p50_s" (Telemetry.Json.Float (Telemetry.Histogram.median recycle));
+  field "recycle_p99_s" (Telemetry.Json.Float (Telemetry.Histogram.p99 recycle));
+  field "transit_peak" (Telemetry.Json.Float (Telemetry.Histogram.max_value transit));
+  Format.fprintf ppf
+    "  %-16s %10.1f upd/s (wall)  %d commands in %.2f s, %d packets interleaved@." "throughput"
+    updates_per_sec n_updates wall live.Harness.Replay.c_packets;
+  Format.fprintf ppf "  %-16s p50 %.2e s  p99 %.2e s  (%d updates, virtual time)@." "apply"
+    (Telemetry.Histogram.median apply) (Telemetry.Histogram.p99 apply)
+    (Telemetry.Histogram.count apply);
+  Format.fprintf ppf "  %-16s p50 %.2e s  p99 %.2e s  (%d versions)@." "recycle"
+    (Telemetry.Histogram.median recycle) (Telemetry.Histogram.p99 recycle)
+    (Telemetry.Histogram.count recycle);
+  Format.fprintf ppf "  %-16s peak %.0f entries@." "transit" (Telemetry.Histogram.max_value transit);
+  List.rev !fields
+
 (* The CI regression gate: flat string scan for "<key>": <number> in the
    committed baseline (no JSON parser needed for one float). *)
 let scan_json_float content key =
@@ -252,9 +405,8 @@ let scan_json_float content key =
     done;
     float_of_string_opt (String.trim (String.sub content start (!stop - start)))
 
-let check_baseline ppf ~file fields =
+let check_baseline ppf ~file ~key fields =
   let content = In_channel.with_open_bin file In_channel.input_all in
-  let key = "smoke_batch_pps" in
   match scan_json_float content key with
   | None ->
     Format.fprintf ppf "baseline %s has no %s; skipping regression gate@." file key;
@@ -276,22 +428,70 @@ let check_baseline ppf ~file fields =
       true
     end
 
-let run_replay ppf ~smoke ~baseline =
-  let fields =
-    if smoke then replay_section ppf ~smoke:true
-    else replay_section ppf ~smoke:true @ replay_section ppf ~smoke:false
-  in
-  let path = "BENCH_replay.json" in
-  let oc = open_out path in
+(* Atomic write: build in a .tmp and rename, so a killed bench never
+   leaves a truncated committed artifact behind. *)
+let write_bench_json ppf path fields =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc (Telemetry.Json.to_string_pretty (Telemetry.Json.Obj fields));
       output_char oc '\n');
-  Format.fprintf ppf "wrote %s@." path;
+  Sys.rename tmp path;
+  Format.fprintf ppf "wrote %s@." path
+
+(* A --smoke run rewrites the committed bench file; carry the existing
+   full_ section over verbatim so `make check` and the CI smoke gates
+   never clobber the offline-produced full-scale numbers. Each smoke
+   field doubles as the type template for its full_ mirror. *)
+let preserve_full_section path smoke_fields =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> []
+  | content ->
+    List.filter_map
+      (fun (k, template) ->
+        if not (String.starts_with ~prefix:"smoke_" k) then None
+        else begin
+          let full_key = "full_" ^ String.sub k 6 (String.length k - 6) in
+          match (scan_json_float content full_key, template) with
+          | None, _ -> None
+          | Some v, Telemetry.Json.Int _ ->
+            Some (full_key, Telemetry.Json.Int (int_of_float v))
+          | Some v, _ -> Some (full_key, Telemetry.Json.Float v)
+        end)
+      smoke_fields
+
+let run_replay ppf ~smoke ~baseline =
+  let fields =
+    if smoke then begin
+      let sm = replay_section ppf ~smoke:true in
+      sm @ preserve_full_section "BENCH_replay.json" sm
+    end
+    else replay_section ppf ~smoke:true @ replay_section ppf ~smoke:false
+  in
+  write_bench_json ppf "BENCH_replay.json" fields;
   match baseline with
   | None -> ()
-  | Some file -> if not (check_baseline ppf ~file fields) then exit 1
+  | Some file -> if not (check_baseline ppf ~file ~key:"smoke_batch_pps" fields) then exit 1
+
+let run_control ppf ~smoke ~baseline =
+  let fields =
+    if smoke then begin
+      let sm = control_section ppf ~smoke:true in
+      sm @ preserve_full_section "BENCH_control.json" sm
+    end
+    else begin
+      (* bind to force smoke-before-full evaluation (and print) order *)
+      let sm = control_section ppf ~smoke:true in
+      sm @ control_section ppf ~smoke:false
+    end
+  in
+  write_bench_json ppf "BENCH_control.json" fields;
+  match baseline with
+  | None -> ()
+  | Some file ->
+    if not (check_baseline ppf ~file ~key:"smoke_updates_per_sec" fields) then exit 1
 
 (* Reference driver run whose registry snapshot is written next to the
    bench output: a machine-readable record of what the run measured
@@ -374,6 +574,7 @@ let () =
   in
   let skip_micro = List.mem "--no-micro" args in
   let replay = List.mem "--replay" args in
+  let control = List.mem "--control" args in
   let baseline =
     let rec find = function
       | "--baseline" :: file :: _ -> Some file
@@ -384,6 +585,11 @@ let () =
   in
   let ppf = Format.std_formatter in
   if soak then run_soak ppf ~seed:1
+  else if control then begin
+    Format.fprintf ppf "SilkRoad bench — control mode (%s)@."
+      (if smoke then "smoke" else "smoke + full");
+    run_control ppf ~smoke ~baseline
+  end
   else if replay then begin
     Format.fprintf ppf "SilkRoad bench — replay mode (%s)@."
       (if smoke then "smoke" else "smoke + full");

@@ -474,6 +474,81 @@ let trace_replay_cmd =
         (const run $ flows_path $ updates_path $ fast $ shards $ parallel $ metrics_json_flag
         $ verbose_flag))
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let script_arg =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"FILE"
+             ~doc:"Execute the commands in $(docv) instead of reading stdin (deterministic \
+                   batch mode); acks go to stdout.")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv), serving clients one at a time \
+                   over the same session, until one issues quit.")
+  in
+  let flows_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flows" ] ~docv:"FILE"
+             ~doc:"Replay this flow trace (written by trace-generate) through the switches \
+                   while commands run: packets interleave with commands in virtual-time \
+                   order as the session advances.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N" ~doc:"Partition flows over $(docv) switches.")
+  in
+  let run script socket flows_path shards metrics_json verbose =
+    setup_logs verbose;
+    if script <> None && socket <> None then
+      `Error (false, "--script and --socket are mutually exclusive")
+    else if shards < 1 then `Error (false, "--shards must be >= 1")
+    else begin
+      let trace =
+        match flows_path with
+        | None -> Ok None
+        | Some p -> (
+            match Simnet.Trace_io.load_flows p with
+            | Error e -> Error (p ^ ": " ^ e)
+            | Ok flows ->
+                let horizon =
+                  List.fold_left (fun acc f -> Float.max acc (Simnet.Flow.finish f)) 0. flows
+                  +. 60.
+                in
+                Ok (Some (Harness.Packed_trace.compile ~horizon flows)))
+      in
+      match trace with
+      | Error e -> `Error (false, e)
+      | Ok trace ->
+          let session = Control.Session.create ?trace ~shards () in
+          (match (script, socket) with
+          | Some path, _ -> Control.Server.run_script session ~path stdout
+          | _, Some path ->
+              Format.fprintf ppf "# serving on %s@." path;
+              Control.Server.run_socket session ~path
+          | None, None -> Control.Server.run_channels session stdin stdout);
+          (match metrics_json with
+          | None -> ()
+          | Some path ->
+              write_metrics_json path
+                [ ("control", Telemetry.Registry.snapshot (Control.Session.metrics session)) ];
+              Format.fprintf ppf "# wrote telemetry snapshot to %s@." path);
+          `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Keep SilkRoad switches hot and apply control-plane commands (VIP/DIP updates, \
+          health events, stats queries) from stdin, a script file or a Unix socket, with \
+          optional concurrent replay traffic.")
+    Term.(
+      ret
+        (const run $ script_arg $ socket_arg $ flows_arg $ shards_arg $ metrics_json_flag
+        $ verbose_flag))
+
 (* ---- lint ---- *)
 
 let lint_cmd =
@@ -553,4 +628,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; chaos_cmd; memory_cmd; p4_cmd;
-            trace_generate_cmd; trace_replay_cmd; lint_cmd ]))
+            trace_generate_cmd; trace_replay_cmd; serve_cmd; lint_cmd ]))

@@ -1,0 +1,48 @@
+let run_channels session ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line -> (
+        match Session.exec_line session line with
+        | None -> loop ()
+        | Some resp ->
+            output_string oc (Protocol.render_response resp);
+            output_char oc '\n';
+            flush oc;
+            if not (Session.closed session) then loop ())
+  in
+  loop ()
+
+let run_script session ~path oc =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> run_channels session ic oc)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()
+
+let run_socket session ~path =
+  unlink_quiet path;
+  (* A client that disconnects mid-response must surface as an EPIPE
+     Sys_error on our write (caught below, next client served), not as
+     a process-killing SIGPIPE. *)
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close srv with Unix.Unix_error _ -> ());
+      unlink_quiet path;
+      match prev_sigpipe with
+      | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
+      | None -> ())
+    (fun () ->
+      Unix.bind srv (Unix.ADDR_UNIX path);
+      Unix.listen srv 1;
+      while not (Session.closed session) do
+        let fd, _ = Unix.accept srv in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try run_channels session ic oc with Sys_error _ | Unix.Unix_error _ -> ());
+        (* closing the out channel closes the shared fd *)
+        (try close_out oc with Sys_error _ -> ())
+      done)

@@ -1,0 +1,22 @@
+(** Transports for a {!Session}: a line-oriented loop over channels
+    (stdin/stdout, a script file, or a Unix-domain socket).
+
+    Every transport is a thin shell around {!Session.exec_line}: read a
+    line, write the rendered ack, flush, stop when the session closes
+    ([quit]) or the input ends. Determinism lives entirely in the
+    session — the transports add no time source of their own. *)
+
+val run_channels : Session.t -> in_channel -> out_channel -> unit
+(** Serve until [quit] is acked or EOF. Blank/comment lines produce no
+    ack. *)
+
+val run_script : Session.t -> path:string -> out_channel -> unit
+(** {!run_channels} over the commands in [path] — the deterministic
+    [--script FILE] mode. Raises [Sys_error] when the file cannot be
+    read. *)
+
+val run_socket : Session.t -> path:string -> unit
+(** Listen on a Unix-domain socket at [path] (an existing socket file is
+    replaced) and serve clients one at a time over the same session,
+    until one of them issues [quit]; the socket file is removed on
+    return. *)

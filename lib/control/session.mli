@@ -1,0 +1,84 @@
+(** A long-running control session: one or more hot SilkRoad switches
+    driven by {!Protocol} commands while replay traffic flows through
+    them concurrently.
+
+    The session owns {!Harness.Replay.Stepper}s — the exact per-shard
+    incremental loop {!Harness.Replay.run} is built from — and never
+    touches the switches outside {!Harness.Replay.Stepper.apply} /
+    [flush_to] / [finish]. A scripted session is therefore
+    counter-identical, down to the merged telemetry snapshot, to a batch
+    replay of the same trace with the equivalent control list: both
+    execute the same switch calls in the same order (the test suite pins
+    this).
+
+    Time is virtual and owned by the session: it only moves on [advance]
+    (and [drain], which jumps to the trace horizon), so sessions are
+    deterministic regardless of wall-clock scheduling.
+
+    {2 Sequence numbers (at-least-once delivery)}
+
+    A command carrying [@N] is applied only when [N] is greater than the
+    highest sequence number already applied; a re-delivered (stale)
+    number is acked [ok @N duplicate] without touching any state.
+    Failed commands do not consume their sequence number, so a client
+    retrying an errored command gets the same error again — re-delivery
+    is idempotent either way. Unsequenced commands always apply.
+
+    {2 Telemetry}
+
+    The session reports under [control.*] in its own registry:
+    [control.commands] (labeled by command), [control.errors],
+    [control.duplicates], [control.pending_updates],
+    [control.update_apply_seconds] (request-to-finish latency of every
+    3-step update, via {!Silkroad.Switch.on_update_done}),
+    [control.version_recycle_seconds] (how long an update's old version
+    lingered before DIPPoolTable destroyed it, observed at command
+    granularity), and [control.transit_population] (TransitTable Bloom
+    population sampled after every command). *)
+
+type t
+
+val create :
+  ?cfg:Silkroad.Config.t ->
+  ?shards:int ->
+  ?batched:bool ->
+  ?vips:(Netcore.Endpoint.t * Lb.Dip_pool.t) list ->
+  ?trace:Harness.Packed_trace.t ->
+  unit ->
+  t
+(** [?shards] (default 1) switches partitioned as in sharded replay;
+    [?batched] (default true) selects {!Silkroad.Switch.process_batch}
+    for the packet path; [?vips] are pre-registered on every switch
+    before any traffic, exactly like [make_switch] in a batch run (VIPs
+    can equally be added with [vip-add] commands at time 0); [?trace]
+    (default empty) is the concurrent data-plane load, whose packets are
+    interleaved with commands in virtual-time order. *)
+
+val exec : t -> Protocol.line -> Protocol.response
+val exec_line : t -> string -> Protocol.response option
+(** [None] for blank/comment lines; parse failures come back as [err]
+    responses (and count as [control.errors]) without touching state. *)
+
+val now : t -> float
+val horizon : t -> float
+val drained : t -> bool
+val closed : t -> bool
+
+val counts : t -> Harness.Replay.counts
+(** PCC accounting summed over shards — the same numbers a batch
+    {!Harness.Replay.run} of the equivalent control list reports. *)
+
+val pending_updates : t -> int
+(** Control-path backlog of shard 0's switch. *)
+
+val switches : t -> Silkroad.Switch.t array
+
+val control_metrics : t -> Telemetry.Registry.t
+(** The session's own [control.*] registry. *)
+
+val switch_metrics : t -> Telemetry.Registry.t
+(** Fresh merge of every shard switch's registry — the piece compared
+    byte-for-byte against a batch replay's switch telemetry. *)
+
+val metrics : t -> Telemetry.Registry.t
+(** [control_metrics] and [switch_metrics] merged. *)

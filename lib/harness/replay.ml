@@ -14,7 +14,13 @@
      Per-shard ConnTables mean digest collisions (and Bloom-filter false
      positives) can only involve co-sharded flows — a strictly smaller
      collision class than the scalar run, which is why shard equivalence
-     is stated over the collision-free counter set. *)
+     is stated over the collision-free counter set.
+
+   The engine is factored as an incremental [Stepper] (one per shard)
+   so the long-running serve mode can drive the identical loop one
+   control command at a time: [run] below is nothing but "apply every
+   control in time order, then finish", which is why a scripted serve
+   session is counter-identical to a batch replay by construction. *)
 
 type control =
   | Update of Netcore.Endpoint.t * Lb.Balancer.update
@@ -61,6 +67,14 @@ type result = {
   first_dip : Netcore.Endpoint.t array;
   telemetry : Telemetry.Registry.t;
   elapsed : float;
+}
+
+type counts = {
+  c_packets : int;
+  c_dropped : int;
+  c_connections : int;
+  c_broken : int;
+  c_violations : int;
 }
 
 (* per-shard accounting; summed at the end *)
@@ -133,6 +147,189 @@ let shard_of ~shards tuple =
   if shards = 1 then 0
   else Netcore.Hashing.to_range (Netcore.Five_tuple.hash ~seed:shard_seed tuple) shards
 
+module Stepper = struct
+  type shared = {
+    horizon : float;
+    shards : int;
+    flow_shard : int array;
+    first : Netcore.Endpoint.t array;
+    state : Bytes.t;
+    sh_times : float array array;
+    sh_flows : Netcore.Five_tuple.t array array;
+    sh_flags : Netcore.Tcp_flags.t array array;
+    sh_pflow : int array array;
+  }
+
+  let make_shared ~(trace : Packed_trace.t) ~shards =
+    if shards < 1 then invalid_arg "Replay.Stepper.make_shared: shards must be >= 1";
+    let n_flows = Array.length trace.Packed_trace.flow_ids in
+    let n_pkts = Array.length trace.Packed_trace.times in
+    let flow_shard =
+      Array.init n_flows (fun i -> shard_of ~shards trace.Packed_trace.flow_tuples.(i))
+    in
+    (* decode flag bytes once: 6 TCP flag bits -> 64 possible sets *)
+    let flags_tab = Array.init 64 Netcore.Tcp_flags.of_byte in
+    (* gather each shard's packets into contiguous arrays *)
+    let counts = Array.make shards 0 in
+    for p = 0 to n_pkts - 1 do
+      let k = flow_shard.(trace.Packed_trace.pkt_flow.(p)) in
+      counts.(k) <- counts.(k) + 1
+    done;
+    let sh_times = Array.init shards (fun k -> Array.make counts.(k) 0.) in
+    let sh_flows =
+      Array.init shards (fun k -> Array.make counts.(k) Packed_trace.dummy_tuple)
+    in
+    let sh_flags = Array.init shards (fun k -> Array.make counts.(k) Netcore.Tcp_flags.data) in
+    let sh_pflow = Array.init shards (fun k -> Array.make counts.(k) 0) in
+    let fill = Array.make shards 0 in
+    for p = 0 to n_pkts - 1 do
+      let fi = trace.Packed_trace.pkt_flow.(p) in
+      let k = flow_shard.(fi) in
+      let j = fill.(k) in
+      fill.(k) <- j + 1;
+      sh_times.(k).(j) <- trace.Packed_trace.times.(p);
+      sh_flows.(k).(j) <- trace.Packed_trace.flow_tuples.(fi);
+      sh_flags.(k).(j) <- flags_tab.(Char.code (Bytes.get trace.Packed_trace.pkt_flags p));
+      sh_pflow.(k).(j) <- fi
+    done;
+    {
+      horizon = trace.Packed_trace.horizon;
+      shards;
+      flow_shard;
+      first = Array.make n_flows Silkroad.Switch.no_dip;
+      state = Bytes.make n_flows '\000';
+      sh_times;
+      sh_flows;
+      sh_flags;
+      sh_pflow;
+    }
+
+  let horizon sh = sh.horizon
+  let first_dip sh = sh.first
+
+  type t = {
+    sh : shared;
+    shard : int;
+    switch : Silkroad.Switch.t;
+    batched : bool;
+    counters : counters;
+    dips : Netcore.Endpoint.t array;
+    mutable cursor : int;  (** next unprocessed packet of this shard *)
+  }
+
+  let create sh ~shard ~batched switch =
+    if shard < 0 || shard >= sh.shards then invalid_arg "Replay.Stepper.create: bad shard";
+    {
+      sh;
+      shard;
+      switch;
+      batched;
+      counters =
+        { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 };
+      dips = Array.make (Array.length sh.sh_times.(shard)) Silkroad.Switch.no_dip;
+      cursor = 0;
+    }
+
+  let switch st = st.switch
+
+  let no_dip = Silkroad.Switch.no_dip
+  let payload_len = 1024
+
+  let process_range st lo hi =
+    if hi > lo then begin
+      let times = st.sh.sh_times.(st.shard)
+      and flows = st.sh.sh_flows.(st.shard)
+      and flags = st.sh.sh_flags.(st.shard)
+      and pflow = st.sh.sh_pflow.(st.shard) in
+      if st.batched then
+        Silkroad.Switch.process_batch st.switch ~times ~flows ~flags ~payload_len ~dips:st.dips
+          ~pos:lo ~len:(hi - lo)
+      else
+        for j = lo to hi - 1 do
+          st.dips.(j) <-
+            Silkroad.Switch.process_flow st.switch ~now:times.(j) ~flags:flags.(j) ~payload_len
+              flows.(j)
+        done;
+      let first = st.sh.first and state = st.sh.state and c = st.counters in
+      for j = lo to hi - 1 do
+        judge ~no_dip ~first ~state c (Array.unsafe_get pflow j) (Array.unsafe_get st.dips j)
+          ~ends:(Netcore.Tcp_flags.is_connection_end (Array.unsafe_get flags j))
+      done
+    end
+
+  (* process this shard's packets with time <= [at] (the driver
+     schedules every probe before any control event at the same time) *)
+  let flush_to st at =
+    let times = st.sh.sh_times.(st.shard) in
+    let n = Array.length times in
+    let j = ref st.cursor in
+    while !j < n && times.(!j) <= at do
+      incr j
+    done;
+    process_range st st.cursor !j;
+    st.cursor <- !j
+
+  let exclude st dip =
+    exclude_dip ~no_dip ~first:st.sh.first ~state:st.sh.state ~flow_shard:st.sh.flow_shard
+      ~shard:st.shard dip
+
+  let apply st ~at ctrl =
+    flush_to st at;
+    match ctrl with
+    | Update (vip, u) ->
+      (* driver order: advance, dead-server PCC accounting, update *)
+      Silkroad.Switch.advance st.switch ~now:at;
+      (match u with
+       | Lb.Balancer.Dip_remove d -> exclude st d
+       | Lb.Balancer.Dip_replace { old_dip; _ } -> exclude st old_dip
+       | Lb.Balancer.Dip_add _ -> ());
+      Silkroad.Switch.request_update st.switch ~now:at ~vip u
+    | Dip_dead d ->
+      (* ground truth only: no balancer interaction *)
+      exclude st d
+    | Cpu_backlog n ->
+      Silkroad.Switch.advance st.switch ~now:at;
+      Silkroad.Switch.inject_cpu_backlog st.switch ~now:at ~work_items:n
+    | Attack_syn tuple ->
+      (* routed to the flow's owner shard; fills tables and queues but
+         is not measured workload: no counter, no PCC *)
+      if shard_of ~shards:st.sh.shards tuple = st.shard then begin
+        Silkroad.Switch.advance st.switch ~now:at;
+        ignore
+          (Silkroad.Switch.process_flow st.switch ~now:at ~flags:Netcore.Tcp_flags.syn
+             ~payload_len:0 tuple)
+      end
+
+  let finish st ~now =
+    let n = Array.length st.sh.sh_times.(st.shard) in
+    process_range st st.cursor n;
+    st.cursor <- n;
+    Silkroad.Switch.advance st.switch ~now
+
+  let counts st =
+    let c = st.counters in
+    {
+      c_packets = c.sc_packets;
+      c_dropped = c.sc_dropped;
+      c_connections = c.sc_total;
+      c_broken = c.sc_broken;
+      c_violations = c.sc_violations;
+    }
+end
+
+let sum_counts l =
+  List.fold_left
+    (fun acc c ->
+      {
+        c_packets = acc.c_packets + c.c_packets;
+        c_dropped = acc.c_dropped + c.c_dropped;
+        c_connections = acc.c_connections + c.c_connections;
+        c_broken = acc.c_broken + c.c_broken;
+        c_violations = acc.c_violations + c.c_violations;
+      })
+    { c_packets = 0; c_dropped = 0; c_connections = 0; c_broken = 0; c_violations = 0 }
+    l
+
 let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
   let horizon = trace.Packed_trace.horizon in
   let shards, parallel =
@@ -143,130 +340,19 @@ let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
       (shards, parallel)
   in
   let batched = match mode with Scalar -> false | Batch | Sharded _ -> true in
-  let n_flows = Array.length trace.Packed_trace.flow_ids in
-  let n_pkts = Array.length trace.Packed_trace.times in
-  let flow_shard =
-    Array.init n_flows (fun i -> shard_of ~shards trace.Packed_trace.flow_tuples.(i))
-  in
-  (* decode flag bytes once: 6 TCP flag bits -> 64 possible sets *)
-  let flags_tab = Array.init 64 Netcore.Tcp_flags.of_byte in
-  (* gather each shard's packets into contiguous arrays *)
-  let counts = Array.make shards 0 in
-  for p = 0 to n_pkts - 1 do
-    let k = flow_shard.(trace.Packed_trace.pkt_flow.(p)) in
-    counts.(k) <- counts.(k) + 1
-  done;
-  let sh_times = Array.init shards (fun k -> Array.make counts.(k) 0.) in
-  let sh_flows =
-    Array.init shards (fun k -> Array.make counts.(k) Packed_trace.dummy_tuple)
-  in
-  let sh_flags = Array.init shards (fun k -> Array.make counts.(k) Netcore.Tcp_flags.data) in
-  let sh_pflow = Array.init shards (fun k -> Array.make counts.(k) 0) in
-  let fill = Array.make shards 0 in
-  for p = 0 to n_pkts - 1 do
-    let fi = trace.Packed_trace.pkt_flow.(p) in
-    let k = flow_shard.(fi) in
-    let j = fill.(k) in
-    fill.(k) <- j + 1;
-    sh_times.(k).(j) <- trace.Packed_trace.times.(p);
-    sh_flows.(k).(j) <- trace.Packed_trace.flow_tuples.(fi);
-    sh_flags.(k).(j) <- flags_tab.(Char.code (Bytes.get trace.Packed_trace.pkt_flags p));
-    sh_pflow.(k).(j) <- fi
-  done;
+  let sh = Stepper.make_shared ~trace ~shards in
   (* controls: stable time sort keeps the driver's tie order (chaos
      events before scripted updates when the caller concatenates them in
-     that order); attack SYNs route to their flow's owner shard, every
-     other control is broadcast *)
-  let controls = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) controls in
-  let ctrls_of_shard k =
-    Array.of_list
-      (List.filter
-         (fun (_, c) ->
-           match c with
-           | Attack_syn tuple -> shard_of ~shards tuple = k
-           | Update _ | Dip_dead _ | Cpu_backlog _ -> true)
-         controls)
+     that order); [Stepper.apply] routes attack SYNs to their flow's
+     owner shard and broadcasts every other control *)
+  let controls =
+    Array.of_list (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) controls)
   in
-  let no_dip = Silkroad.Switch.no_dip in
-  let first = Array.make n_flows no_dip in
-  let state = Bytes.make n_flows '\000' in
-  let switches = Array.init shards (fun _ -> make_switch ()) in
-  let shard_counters =
-    Array.init shards (fun _ ->
-        { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 })
-  in
+  let steppers = Array.init shards (fun k -> Stepper.create sh ~shard:k ~batched (make_switch ())) in
   let run_shard k =
-    let sw = switches.(k) in
-    let c = shard_counters.(k) in
-    let times = sh_times.(k)
-    and flows = sh_flows.(k)
-    and flags = sh_flags.(k)
-    and pflow = sh_pflow.(k) in
-    let n = Array.length times in
-    let dips = Array.make n no_dip in
-    let ctrls = ctrls_of_shard k in
-    let nc = Array.length ctrls in
-    let payload_len = 1024 in
-    let judge_range lo hi =
-      for j = lo to hi - 1 do
-        judge ~no_dip ~first ~state c (Array.unsafe_get pflow j) (Array.unsafe_get dips j)
-          ~ends:(Netcore.Tcp_flags.is_connection_end (Array.unsafe_get flags j))
-      done
-    in
-    let process_range lo hi =
-      if hi > lo then begin
-        if batched then
-          Silkroad.Switch.process_batch sw ~times ~flows ~flags ~payload_len ~dips ~pos:lo
-            ~len:(hi - lo)
-        else
-          for j = lo to hi - 1 do
-            dips.(j) <-
-              Silkroad.Switch.process_flow sw ~now:times.(j) ~flags:flags.(j) ~payload_len
-                flows.(j)
-          done;
-        judge_range lo hi
-      end
-    in
-    let exclude dip = exclude_dip ~no_dip ~first ~state ~flow_shard ~shard:k dip in
-    let apply (at, ctrl) =
-      match ctrl with
-      | Update (vip, u) ->
-        (* driver order: advance, dead-server PCC accounting, update *)
-        Silkroad.Switch.advance sw ~now:at;
-        (match u with
-         | Lb.Balancer.Dip_remove d -> exclude d
-         | Lb.Balancer.Dip_replace { old_dip; _ } -> exclude old_dip
-         | Lb.Balancer.Dip_add _ -> ());
-        Silkroad.Switch.request_update sw ~now:at ~vip u
-      | Dip_dead d ->
-        (* ground truth only: no balancer interaction *)
-        exclude d
-      | Cpu_backlog n ->
-        Silkroad.Switch.advance sw ~now:at;
-        Silkroad.Switch.inject_cpu_backlog sw ~now:at ~work_items:n
-      | Attack_syn tuple ->
-        (* fills tables and queues but is not measured workload: no
-           counter, no PCC *)
-        Silkroad.Switch.advance sw ~now:at;
-        ignore
-          (Silkroad.Switch.process_flow sw ~now:at ~flags:Netcore.Tcp_flags.syn ~payload_len:0
-             tuple)
-    in
-    let i = ref 0 in
-    let ci = ref 0 in
-    while !ci < nc do
-      let (at, _) = ctrls.(!ci) in
-      (* packets at the control's timestamp fire first: the driver
-         schedules every probe before any control event *)
-      let j = ref !i in
-      while !j < n && times.(!j) <= at do incr j done;
-      process_range !i !j;
-      i := !j;
-      apply ctrls.(!ci);
-      incr ci
-    done;
-    process_range !i n;
-    Silkroad.Switch.advance sw ~now:horizon
+    let st = steppers.(k) in
+    Array.iter (fun (at, ctrl) -> Stepper.apply st ~at ctrl) controls;
+    Stepper.finish st ~now:horizon
   in
   let (), elapsed =
     Stopwatch.time (fun () ->
@@ -282,15 +368,8 @@ let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
             run_shard k
           done)
   in
-  let tot = { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 } in
-  Array.iter
-    (fun c ->
-      tot.sc_packets <- tot.sc_packets + c.sc_packets;
-      tot.sc_dropped <- tot.sc_dropped + c.sc_dropped;
-      tot.sc_total <- tot.sc_total + c.sc_total;
-      tot.sc_broken <- tot.sc_broken + c.sc_broken;
-      tot.sc_violations <- tot.sc_violations + c.sc_violations)
-    shard_counters;
+  let tot = sum_counts (Array.to_list (Array.map Stepper.counts steppers)) in
+  let switches = Array.map Stepper.switch steppers in
   let false_hits = ref 0 in
   let repairs = ref 0 in
   Array.iter
@@ -301,25 +380,25 @@ let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
     switches;
   let own = Telemetry.Registry.create () in
   let c name v = Telemetry.Registry.Counter.add (Telemetry.Registry.counter own name) v in
-  c "replay.packets" tot.sc_packets;
-  c "replay.dropped_packets" tot.sc_dropped;
-  c "replay.connections" tot.sc_total;
-  c "replay.broken_connections" tot.sc_broken;
-  c "replay.violation_packets" tot.sc_violations;
+  c "replay.packets" tot.c_packets;
+  c "replay.dropped_packets" tot.c_dropped;
+  c "replay.connections" tot.c_connections;
+  c "replay.broken_connections" tot.c_broken;
+  c "replay.violation_packets" tot.c_violations;
   let telemetry =
     Telemetry.Registry.merge_all
       (own :: Array.to_list (Array.map Silkroad.Switch.metrics switches))
   in
   {
     mode;
-    packets = tot.sc_packets;
-    dropped = tot.sc_dropped;
-    connections = tot.sc_total;
-    broken = tot.sc_broken;
-    violations = tot.sc_violations;
+    packets = tot.c_packets;
+    dropped = tot.c_dropped;
+    connections = tot.c_connections;
+    broken = tot.c_broken;
+    violations = tot.c_violations;
     false_hits = !false_hits;
     repairs = !repairs;
-    first_dip = first;
+    first_dip = Stepper.first_dip sh;
     telemetry;
     elapsed;
   }

@@ -74,6 +74,70 @@ val shard_of : shards:int -> Netcore.Five_tuple.t -> int
 (** The flow partition used by [Sharded] mode (dedicated hash seed,
     independent of all table seeds). *)
 
+type counts = {
+  c_packets : int;
+  c_dropped : int;
+  c_connections : int;  (** distinct connections judged (Pcc.total) *)
+  c_broken : int;
+  c_violations : int;
+}
+
+val sum_counts : counts list -> counts
+
+(** The replay loop, exposed incrementally: one stepper per shard, each
+    owning a switch and a cursor into its share of the packed trace.
+    {!run} is exactly "apply every control in time order, then finish" on
+    these steppers — the long-running serve mode ({!Control.Session})
+    drives the same steppers one command at a time, which is what makes
+    a scripted serve session counter-identical to a batch replay by
+    construction.
+
+    Discipline (shared with {!run}): packets at time [t <= at] fire
+    before a control applied at [at] (the driver's tie order), and
+    {!Stepper.apply}/{!Stepper.finish} are the only places the switch's
+    control plane is advanced outside the packet path. *)
+module Stepper : sig
+  type shared
+  (** The trace gathered per shard plus the flow-indexed PCC arrays
+      (first-DIP and state) all shards of a run share; writes are
+      disjoint by flow owner, so parallel steppers need no locks. *)
+
+  val make_shared : trace:Packed_trace.t -> shards:int -> shared
+  val horizon : shared -> float
+
+  val first_dip : shared -> Netcore.Endpoint.t array
+  (** Flow-indexed first judged DIP ({!Silkroad.Switch.no_dip}, compared
+      with [==], when dropped or never sent). *)
+
+  type t
+
+  val create : shared -> shard:int -> batched:bool -> Silkroad.Switch.t -> t
+  (** One stepper per shard, [shard] in [0 .. shards-1]. [batched] uses
+      {!Silkroad.Switch.process_batch} (the fast path); [false] mirrors
+      the scalar one-call-per-packet loop. *)
+
+  val switch : t -> Silkroad.Switch.t
+
+  val flush_to : t -> float -> unit
+  (** Process this shard's packets with time [<= t] (monotone: already
+      processed packets are never revisited). Does {e not} advance the
+      switch's control plane beyond what the packet path itself does —
+      exactly the batch loop's behaviour between controls. *)
+
+  val apply : t -> at:float -> control -> unit
+  (** [flush_to at], then apply the control: updates/backlogs advance
+      the switch to [at] first; DIP removals and deaths exclude the DIP
+      from PCC over this shard's flows; attack SYNs are applied only on
+      their flow's owner shard (broadcast-safe). Controls must be
+      applied in non-decreasing time order. *)
+
+  val finish : t -> now:float -> unit
+  (** Process every remaining packet, then advance the switch to [now]
+      (the trace horizon in {!run}; a serve session may drain later). *)
+
+  val counts : t -> counts
+end
+
 val run :
   ?mode:mode ->
   make_switch:(unit -> Silkroad.Switch.t) ->

@@ -19,8 +19,8 @@ type t = {
   vips : (Netcore.Endpoint.t, vip_state) Hashtbl.t;
   version_bits : int;
   mutable reuses : int;
-  (* one-slot VIP cache: safe to keep forever because VIPs are never
-     removed from the table. *)
+  (* one-slot VIP cache; invalidated by [remove_vip], the only way an
+     entry ever leaves the table *)
   mutable vip_cache : (Netcore.Endpoint.t * vip_state) option;
 }
 
@@ -39,6 +39,12 @@ let add_vip t vip pool =
   end
 
 let has_vip t vip = Hashtbl.mem t.vips vip
+
+let remove_vip t vip =
+  Hashtbl.remove t.vips vip;
+  match t.vip_cache with
+  | Some (v, _) when Netcore.Endpoint.equal v vip -> t.vip_cache <- None
+  | Some _ | None -> ()
 let vips t = Hashtbl.fold (fun vip _ acc -> vip :: acc) t.vips []
 
 let info t ~vip ~version =

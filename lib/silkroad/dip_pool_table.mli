@@ -19,6 +19,12 @@ val add_vip : t -> Netcore.Endpoint.t -> Lb.Dip_pool.t -> (int, [ `Exists ]) res
 (** Register a VIP with its initial pool; returns the initial version. *)
 
 val has_vip : t -> Netcore.Endpoint.t -> bool
+
+val remove_vip : t -> Netcore.Endpoint.t -> unit
+(** Drop a VIP and every version it owns (serve-mode VIP teardown).
+    The caller is responsible for having released the connections that
+    referenced those versions first. No-op on an unknown VIP. *)
+
 val vips : t -> Netcore.Endpoint.t list
 
 val pool : t -> vip:Netcore.Endpoint.t -> version:int -> Lb.Dip_pool.t option

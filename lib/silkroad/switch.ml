@@ -14,13 +14,27 @@ type job_phase =
 type update_job = {
   job_vip : Netcore.Endpoint.t;
   job_update : Lb.Balancer.update;
-  started : float;
+  requested : float;  (** when [request_update] accepted it (queue wait included) *)
+  started : float;  (** when the job left the queue and step 1 began *)
+  (* the version that was current when the update executed; meaningful
+     from [Job_dual] on (initialised to the version current at start) *)
+  mutable old_version : int;
   (* pending connections gating the next phase transition *)
   waiting : (Netcore.Five_tuple.t, unit) Hashtbl.t;
   (* connections recorded in the Bloom filter during step 1, still
      pending; becomes [waiting] at execution time *)
   recorded : (Netcore.Five_tuple.t, unit) Hashtbl.t;
   mutable job_phase : job_phase;
+}
+
+type update_report = {
+  ur_vip : Netcore.Endpoint.t;
+  ur_update : Lb.Balancer.update;
+  ur_requested : float;
+  ur_finished : float;
+  ur_old_version : int;
+  ur_new_version : int;
+  ur_outcome : [ `Completed | `Failed ];
 }
 
 type cpu_work =
@@ -61,7 +75,12 @@ type t = {
   aging : Netcore.Five_tuple.t Asic.Timer_wheel.t;
   meters : (Netcore.Endpoint.t, Asic.Meter.t) Hashtbl.t;  (** per-VIP rate limiters *)
   jobs : (Netcore.Endpoint.t, update_job) Hashtbl.t;  (** active job per VIP *)
-  job_queue : (Netcore.Endpoint.t, Lb.Balancer.update Queue.t) Hashtbl.t;
+  (* queued updates keep their request time so the control plane can
+     report true request-to-finish latency across queue waits *)
+  job_queue : (Netcore.Endpoint.t, (float * Lb.Balancer.update) Queue.t) Hashtbl.t;
+  (* serve-mode observer: called once per update job as it completes or
+     aborts, with virtual request/finish times and the version flip *)
+  mutable update_hook : (update_report -> unit) option;
   mutable clock : float;  (** latest time the control plane has seen *)
   (* fast-path side channel: where the last processed packet went.
      [process_flow] returns only the DIP (or [no_dip]); callers that
@@ -144,6 +163,7 @@ let create ?metrics ?(check = `Warn) cfg =
     meters = Hashtbl.create 8;
     jobs = Hashtbl.create 16;
     job_queue = Hashtbl.create 16;
+    update_hook = None;
     clock = 0.;
     last_location = Lb.Balancer.Asic;
     vh_vip = Netcore.Endpoint.none;
@@ -196,7 +216,7 @@ let rec start_next_queued t ~now vip =
   | Some q ->
     (match Queue.take_opt q with
      | None -> ()
-     | Some u -> start_job t ~now vip u)
+     | Some (requested, u) -> start_job t ~now ~requested vip u)
 
 and finish_job t ~now job =
   Log.debug (fun m ->
@@ -213,6 +233,19 @@ and finish_job t ~now job =
        "switch.vip.updates_completed");
   Dip_pool_table.gc t.pools ~vip:job.job_vip ~current:(current_version t job.job_vip);
   clear_transit_if_idle t;
+  (match t.update_hook with
+   | Some f ->
+     f
+       {
+         ur_vip = job.job_vip;
+         ur_update = job.job_update;
+         ur_requested = job.requested;
+         ur_finished = now;
+         ur_old_version = job.old_version;
+         ur_new_version = current_version t job.job_vip;
+         ur_outcome = `Completed;
+       }
+   | None -> ());
   start_next_queued t ~now job.job_vip
 
 and execute_job t ~now job =
@@ -220,6 +253,7 @@ and execute_job t ~now job =
   let current = current_version t vip in
   (match Dip_pool_table.publish t.pools ~vip ~current job.job_update with
    | Ok new_version ->
+     job.old_version <- current;
      Vip_table.execute t.vips vip ~new_version;
      job.job_phase <- Job_dual;
      (* step 3 waits for the connections recorded during step 1 *)
@@ -238,6 +272,19 @@ and execute_job t ~now job =
      Hashtbl.remove t.jobs vip;
      Telemetry.Registry.Counter.incr t.c_updates_failed;
      clear_transit_if_idle t;
+     (match t.update_hook with
+      | Some f ->
+        f
+          {
+            ur_vip = vip;
+            ur_update = job.job_update;
+            ur_requested = job.requested;
+            ur_finished = now;
+            ur_old_version = current;
+            ur_new_version = current;
+            ur_outcome = `Failed;
+          }
+      | None -> ());
      start_next_queued t ~now vip)
 
 and check_job_transition t ~now job =
@@ -247,12 +294,14 @@ and check_job_transition t ~now job =
     | Job_dual -> finish_job t ~now job
   end
 
-and start_job t ~now vip update =
+and start_job t ~now ~requested vip update =
   let job =
     {
       job_vip = vip;
       job_update = update;
+      requested;
       started = now;
+      old_version = current_version t vip;
       waiting = Hashtbl.create 64;
       recorded = Hashtbl.create 64;
       job_phase = Job_recording;
@@ -665,9 +714,45 @@ let request_update t ~now ~vip update =
         Hashtbl.replace t.job_queue vip q;
         q
     in
-    Queue.add update q
+    Queue.add (now, update) q
   end
-  else start_job t ~now vip update
+  else start_job t ~now ~requested:now vip update
+
+let on_update_done t f = t.update_hook <- Some f
+
+let pending_updates t =
+  Hashtbl.length t.jobs + Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.job_queue 0
+
+let remove_vip t vip =
+  if not (Vip_table.mem t.vips vip) then invalid_arg "Switch.remove_vip: unknown VIP";
+  if
+    Hashtbl.mem t.jobs vip
+    || (match Hashtbl.find_opt t.job_queue vip with
+        | Some q -> not (Queue.is_empty q)
+        | None -> false)
+  then invalid_arg "Switch.remove_vip: update in progress";
+  (* tear down tracked connections: ConnTable entries, aging timers and
+     version refcounts all go through the same path a deletion takes *)
+  let doomed =
+    Hashtbl.fold
+      (fun flow (st : conn_state) acc ->
+        if Netcore.Endpoint.equal st.cs_vip vip then (flow, st) :: acc else acc)
+      t.flows []
+  in
+  List.iter
+    (fun (flow, (st : conn_state)) ->
+      if st.inserted then ignore (Conn_table.remove t.conns flow);
+      destroy_state t flow st)
+    doomed;
+  Hashtbl.remove t.job_queue vip;
+  Hashtbl.remove t.meters vip;
+  Vip_table.remove t.vips vip;
+  Dip_pool_table.remove_vip t.pools vip;
+  (* the one-slot handle cache may alias the removed entry *)
+  if Netcore.Endpoint.equal t.vh_vip vip then begin
+    t.vh_vip <- Netcore.Endpoint.none;
+    t.vh <- None
+  end
 
 let inject_cpu_backlog t ~now ~work_items =
   advance t ~now;

@@ -112,6 +112,38 @@ val request_update : t -> now:float -> vip:Netcore.Endpoint.t -> Lb.Balancer.upd
 (** Request a DIP-pool update; updates to a VIP already updating are
     queued and run in order. *)
 
+val remove_vip : t -> Netcore.Endpoint.t -> unit
+(** Withdraw a VIP (serve-mode teardown): tears down its tracked
+    connections (ConnTable entries, timers, version refcounts), then
+    drops it from VIPTable and DIPPoolTable — subsequent packets to the
+    VIP are dropped. Raises [Invalid_argument] when the VIP is unknown
+    or has an active or queued update. *)
+
+(** {2 Control-plane observation (serve mode)} *)
+
+type update_report = {
+  ur_vip : Netcore.Endpoint.t;
+  ur_update : Lb.Balancer.update;
+  ur_requested : float;  (** when {!request_update} accepted it *)
+  ur_finished : float;  (** when the job completed or aborted *)
+  ur_old_version : int;  (** version current when the update executed *)
+  ur_new_version : int;  (** version current after the flip *)
+  ur_outcome : [ `Completed | `Failed ];
+}
+(** One 3-step update job's life, as virtual times: [ur_finished -.
+    ur_requested] is the request-to-finish apply latency including any
+    per-VIP queue wait. A [`Failed] job reports [ur_old_version =
+    ur_new_version]. *)
+
+val on_update_done : t -> (update_report -> unit) -> unit
+(** Install the (single) update observer. The serve-mode control plane
+    uses it to feed the [control.update_apply_seconds] histogram and to
+    watch old versions drain for version-recycle latency. *)
+
+val pending_updates : t -> int
+(** Active update jobs plus queued updates — the control-path backlog a
+    [drain] waits out. *)
+
 val inject_cpu_backlog : t -> now:float -> work_items:int -> unit
 (** Queue [work_items] units of dummy work on the switch CPU, delaying
     every insertion/deletion behind it — the chaos harness's model of a

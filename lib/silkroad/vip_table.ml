@@ -75,6 +75,13 @@ let cancel_recording t vip =
   e.phase <- Idle;
   t.updating <- t.updating - 1
 
+let remove t vip =
+  let e = find t vip in
+  (match e.phase with
+   | Idle -> ()
+   | Recording | Dual _ -> invalid_arg "Vip_table.remove: update in progress");
+  Hashtbl.remove t.entries vip
+
 let updating_count t = t.updating
 
 let iter f t = Hashtbl.iter (fun vip e -> f vip e.current e.phase) t.entries

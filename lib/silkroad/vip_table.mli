@@ -29,10 +29,10 @@ val current : t -> Netcore.Endpoint.t -> int option
 (** The version new connections are assigned (the newest). *)
 
 type handle
-(** A stable reference to a VIP's table entry. Entries are never removed,
-    so a handle stays valid for the lifetime of the table; its observed
+(** A stable reference to a VIP's table entry; its observed
     version/phase track updates live. Lets the packet fast path skip the
-    per-packet hash lookup. *)
+    per-packet hash lookup. A handle to a {!remove}d VIP goes stale —
+    the switch drops its one-slot handle cache on removal. *)
 
 val handle : t -> Netcore.Endpoint.t -> handle option
 val handle_current : handle -> int
@@ -53,6 +53,11 @@ val finish : t -> Netcore.Endpoint.t -> unit
 val cancel_recording : t -> Netcore.Endpoint.t -> unit
 (** Abort an update before execution: [Recording] → [Idle] (e.g. when
     version allocation failed). *)
+
+val remove : t -> Netcore.Endpoint.t -> unit
+(** Remove a VIP (serve-mode VIP teardown). Raises [Invalid_argument]
+    when the VIP is unknown or not in phase [Idle] — an in-flight
+    3-step update must finish before its VIP can be withdrawn. *)
 
 val updating_count : t -> int
 (** VIPs not in phase [Idle] — used to decide when the shared

@@ -1,0 +1,470 @@
+(* The serve-mode control plane: protocol codec properties, session
+   semantics, and the headline identity — a scripted serve session is
+   counter-identical (down to the merged switch telemetry snapshot) to a
+   batch replay of the same trace with the equivalent control list,
+   because both drive the very same Replay.Stepper calls in the same
+   order.
+
+   Control times in the identity scripts are dyadic rationals so that
+   the relative [advance] deltas the script carries re-accumulate to
+   exactly the absolute times the batch control list uses. *)
+
+let check = Alcotest.check
+let tc = Alcotest.test_case
+
+module P = Control.Protocol
+
+(* ----- generators ----- *)
+
+let gen_endpoint =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d, port) -> Netcore.Endpoint.v4 a b c d port)
+      (tup5 (int_range 1 255) (int_range 0 255) (int_range 0 255) (int_range 0 255)
+         (int_range 0 65535)))
+
+let gen_duration =
+  QCheck.Gen.(
+    oneof
+      [
+        return 0.;
+        return 1.5;
+        return 1e-9;
+        return 12345.6789;
+        map (fun f -> Float.abs f) (float_bound_inclusive 1e12);
+      ])
+
+let gen_query =
+  QCheck.Gen.(
+    map
+      (fun s -> "m" ^ s)
+      (string_size ~gen:(oneofl [ 'a'; 'z'; '0'; '9'; '.'; '_'; '-' ]) (int_bound 12)))
+
+let gen_command =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun v ds -> P.Vip_add (v, ds))
+          gen_endpoint
+          (list_size (int_range 1 5) gen_endpoint);
+        map (fun v -> P.Vip_remove v) gen_endpoint;
+        map2 (fun v d -> P.Dip_add (v, d)) gen_endpoint gen_endpoint;
+        map2 (fun v d -> P.Dip_remove (v, d)) gen_endpoint gen_endpoint;
+        map
+          (fun (vip, old_dip, new_dip) -> P.Dip_replace { vip; old_dip; new_dip })
+          (tup3 gen_endpoint gen_endpoint gen_endpoint);
+        map2 (fun up d -> P.Health ((if up then `Up else `Down), d)) bool gen_endpoint;
+        map (fun dt -> P.Advance dt) gen_duration;
+        map (fun q -> P.Stats q) (opt gen_query);
+        return P.Drain;
+        return P.Quit;
+      ])
+
+let gen_line =
+  QCheck.Gen.(map2 (fun seq cmd -> { P.seq; cmd }) (opt (int_bound 1_000_000)) gen_command)
+
+let arb_line = QCheck.make ~print:P.render gen_line
+
+let gen_payload =
+  (* no newlines and no leading '@' — the two shapes the line-oriented
+     framing cannot carry verbatim *)
+  QCheck.Gen.(
+    map
+      (fun s ->
+        let s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s in
+        if s <> "" && s.[0] = '@' then "x" ^ s else s)
+      (string_size ~gen:printable (int_bound 30)))
+
+let gen_response =
+  QCheck.Gen.(
+    map3
+      (fun rseq ok payload -> { P.rseq; body = (if ok then Ok payload else Error payload) })
+      (opt (int_bound 1_000_000))
+      bool gen_payload)
+
+let arb_response = QCheck.make ~print:P.render_response gen_response
+
+(* ----- protocol properties ----- *)
+
+let qcheck_line_roundtrip =
+  QCheck.Test.make ~name:"render/parse round-trip (lines)" ~count:500 arb_line (fun l ->
+      match P.parse (P.render l) with
+      | Ok (Some l') when P.equal_line l l' -> true
+      | Ok (Some l') ->
+          QCheck.Test.fail_reportf "parsed %S from %S" (P.render l') (P.render l)
+      | Ok None -> QCheck.Test.fail_reportf "%S parsed as blank" (P.render l)
+      | Error e -> QCheck.Test.fail_reportf "%S rejected: %s" (P.render l) e)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"render/parse round-trip (responses)" ~count:500 arb_response
+    (fun r ->
+      match P.parse_response (P.render_response r) with
+      | Ok r' when P.equal_response r r' -> true
+      | Ok r' ->
+          QCheck.Test.fail_reportf "parsed %S from %S" (P.render_response r')
+            (P.render_response r)
+      | Error e -> QCheck.Test.fail_reportf "%S rejected: %s" (P.render_response r) e)
+
+let qcheck_parse_total =
+  QCheck.Test.make ~name:"parse never raises on garbage" ~count:1000
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s ->
+      (match P.parse s with Ok _ | Error _ -> ());
+      (match P.parse_response s with Ok _ | Error _ -> ());
+      true)
+
+let garbage_rejected () =
+  let rejected s =
+    match P.parse s with
+    | Error _ -> ()
+    | Ok None -> Alcotest.failf "%S treated as blank" s
+    | Ok (Some l) -> Alcotest.failf "%S accepted as %S" s (P.render l)
+  in
+  List.iter rejected
+    [
+      "bogus";
+      "vip-add";
+      "vip-add 20.0.0.1:80";
+      "vip-add notanip 10.0.0.1:20";
+      "dip-add 20.0.0.1:80";
+      "dip-replace 20.0.0.1:80 10.0.0.1:20";
+      "health sideways 10.0.0.1:20";
+      "advance";
+      "advance -1";
+      "advance nan";
+      "advance inf";
+      "stats a b";
+      "drain now";
+      "quit 0";
+      "@x quit";
+      "@-3 quit";
+      "@5";
+    ];
+  List.iter
+    (fun s ->
+      match P.parse s with
+      | Ok None -> ()
+      | Ok (Some _) | Error _ -> Alcotest.failf "%S should be blank" s)
+    [ ""; "   "; "# comment"; "  # indented comment"; "\t" ]
+
+(* ----- session semantics ----- *)
+
+let vip k = Experiments.Common.vip k
+let dip k = Experiments.Common.dip k
+let e = Netcore.Endpoint.to_string
+
+let line s =
+  match P.parse s with
+  | Ok (Some l) -> l
+  | Ok None -> Alcotest.failf "blank command %S" s
+  | Error m -> Alcotest.failf "bad test command %S: %s" s m
+
+let expect_ok session s =
+  match (Control.Session.exec session (line s)).P.body with
+  | Ok payload -> payload
+  | Error m -> Alcotest.failf "%S failed: %s" s m
+
+let expect_err session s =
+  match (Control.Session.exec session (line s)).P.body with
+  | Ok payload -> Alcotest.failf "%S succeeded: %s" s payload
+  | Error m -> m
+
+let session_state session =
+  Telemetry.Registry.snapshot (Control.Session.switch_metrics session)
+
+let rejects_without_state_change () =
+  let session = Control.Session.create () in
+  ignore (expect_ok session (Printf.sprintf "vip-add %s %s %s" (e (vip 0)) (e (dip 0)) (e (dip 1))));
+  let before = session_state session in
+  (* parse failures *)
+  (match Control.Session.exec_line session "utter garbage" with
+  | Some { P.body = Error _; _ } -> ()
+  | _ -> Alcotest.fail "garbage not rejected");
+  (* validation failures, one per command family *)
+  ignore (expect_err session (Printf.sprintf "vip-add %s %s" (e (vip 0)) (e (dip 5))));
+  ignore (expect_err session (Printf.sprintf "vip-add %s %s %s" (e (vip 1)) (e (dip 5)) (e (dip 5))));
+  ignore (expect_err session (Printf.sprintf "vip-remove %s" (e (vip 3))));
+  ignore (expect_err session (Printf.sprintf "dip-add %s %s" (e (vip 0)) (e (dip 0))));
+  ignore (expect_err session (Printf.sprintf "dip-add %s %s" (e (vip 3)) (e (dip 5))));
+  ignore (expect_err session (Printf.sprintf "dip-remove %s %s" (e (vip 0)) (e (dip 7))));
+  ignore (expect_err session (Printf.sprintf "dip-replace %s %s %s" (e (vip 0)) (e (dip 7)) (e (dip 8))));
+  ignore (expect_err session (Printf.sprintf "dip-replace %s %s %s" (e (vip 0)) (e (dip 0)) (e (dip 1))));
+  ignore (expect_err session (Printf.sprintf "health down %s" (e (dip 9))));
+  ignore (expect_err session (Printf.sprintf "health up %s" (e (dip 0))));
+  check Alcotest.bool "switch state unchanged" true
+    (Telemetry.Snapshot.equal before (session_state session));
+  check Alcotest.int "errors counted" 11
+    (Telemetry.Registry.counter_value (Control.Session.control_metrics session) "control.errors")
+
+let idempotent_redelivery () =
+  let session = Control.Session.create () in
+  ignore (expect_ok session (Printf.sprintf "@1 vip-add %s %s %s" (e (vip 0)) (e (dip 0)) (e (dip 1))));
+  ignore (expect_ok session (Printf.sprintf "@2 dip-add %s %s" (e (vip 0)) (e (dip 2))));
+  let before = session_state session in
+  (* re-delivered and stale sequence numbers ack as duplicates... *)
+  List.iter
+    (fun s ->
+      match (Control.Session.exec session (line s)).P.body with
+      | Ok "duplicate" -> ()
+      | Ok p -> Alcotest.failf "%S re-applied: %s" s p
+      | Error m -> Alcotest.failf "%S errored: %s" s m)
+    [
+      Printf.sprintf "@2 dip-add %s %s" (e (vip 0)) (e (dip 2));
+      Printf.sprintf "@1 vip-add %s %s %s" (e (vip 0)) (e (dip 0)) (e (dip 1));
+      Printf.sprintf "@2 vip-remove %s" (e (vip 0));
+    ];
+  check Alcotest.bool "duplicates change nothing" true
+    (Telemetry.Snapshot.equal before (session_state session));
+  check Alcotest.int "duplicates counted" 3
+    (Telemetry.Registry.counter_value (Control.Session.control_metrics session)
+       "control.duplicates");
+  (* ...an errored command does not consume its number... *)
+  ignore (expect_err session (Printf.sprintf "@3 dip-add %s %s" (e (vip 0)) (e (dip 2))));
+  ignore (expect_err session (Printf.sprintf "@3 dip-add %s %s" (e (vip 0)) (e (dip 2))));
+  (* ...and the number is still usable by a successful retry *)
+  ignore (expect_ok session (Printf.sprintf "@3 dip-add %s %s" (e (vip 0)) (e (dip 3))))
+
+let health_semantics () =
+  let session = Control.Session.create () in
+  ignore (expect_ok session (Printf.sprintf "vip-add %s %s %s" (e (vip 0)) (e (dip 0)) (e (dip 1))));
+  ignore (expect_ok session (Printf.sprintf "vip-add %s %s %s" (e (vip 1)) (e (dip 0)) (e (dip 2))));
+  ignore (expect_ok session (Printf.sprintf "vip-add %s %s" (e (vip 2)) (e (dip 0))));
+  (* withdrawn from both multi-member pools, kept in the singleton *)
+  check Alcotest.string "down" (Printf.sprintf "down %s withdrawn_from=2" (e (dip 0)))
+    (expect_ok session (Printf.sprintf "health down %s" (e (dip 0))));
+  ignore (expect_err session (Printf.sprintf "health down %s" (e (dip 0))));
+  ignore (expect_ok session "advance 30");
+  check Alcotest.string "up" (Printf.sprintf "up %s restored_to=2" (e (dip 0)))
+    (expect_ok session (Printf.sprintf "health up %s" (e (dip 0))));
+  ignore (expect_ok session "advance 30");
+  Array.iter
+    (fun sw ->
+      match Silkroad.Switch.check_invariants sw with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "invariants: %s" (String.concat "; " vs))
+    (Control.Session.switches session)
+
+let vip_remove_drops_traffic () =
+  let vips = [ (vip 0, Lb.Dip_pool.of_list [ dip 0; dip 1 ]) ] in
+  let flows = Test_replay.random_flows ~seed:77 ~n:40 ~span:20. vips in
+  let trace = Harness.Packed_trace.compile ~horizon:60. flows in
+  let session = Control.Session.create ~vips ~trace () in
+  ignore (expect_ok session "advance 10");
+  let mid = Control.Session.counts session in
+  ignore (expect_ok session (Printf.sprintf "vip-remove %s" (e (vip 0))));
+  ignore (expect_ok session "drain");
+  let final = Control.Session.counts session in
+  check Alcotest.bool "packets flowed before removal" true (mid.c_packets > 0);
+  check Alcotest.bool "packets kept arriving" true (final.c_packets > mid.c_packets);
+  check Alcotest.int "every post-removal packet dropped"
+    (final.c_packets - mid.c_packets)
+    (final.c_dropped - mid.c_dropped);
+  Array.iter
+    (fun sw ->
+      check Alcotest.int "no connections left" 0 (Silkroad.Switch.connections sw);
+      match Silkroad.Switch.check_invariants sw with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "invariants: %s" (String.concat "; " vs))
+    (Control.Session.switches session)
+
+let update_hook_observes_latency () =
+  let vips = [ (vip 0, Lb.Dip_pool.of_list [ dip 0; dip 1; dip 2 ]) ] in
+  (* a burst of connections arriving exactly when the update lands: their
+     learning batch (1ms timeout) cannot have drained yet, so they are
+     seen-but-uninserted and the step-1 barrier must take real time *)
+  let burst =
+    List.init 40 (fun i ->
+        {
+          Simnet.Flow.id = 1000 + i;
+          tuple =
+            Netcore.Five_tuple.make
+              ~src:(Netcore.Endpoint.v4 9 9 (i / 250) (1 + (i mod 250)) (2000 + i))
+              ~dst:(vip 0) ~proto:Netcore.Protocol.Tcp;
+          start = 5.0;
+          duration = 30.;
+          bytes_per_sec = 1000.;
+        })
+  in
+  let flows = Test_replay.random_flows ~seed:3 ~n:200 ~span:10. vips @ burst in
+  let trace = Harness.Packed_trace.compile ~horizon:80. flows in
+  let session = Control.Session.create ~vips ~trace () in
+  ignore (expect_ok session "advance 5");
+  ignore (expect_ok session (Printf.sprintf "dip-remove %s %s" (e (vip 0)) (e (dip 2))));
+  ignore (expect_ok session "advance 20");
+  ignore (expect_ok session (Printf.sprintf "dip-add %s %s" (e (vip 0)) (e (dip 2))));
+  ignore (expect_ok session "drain");
+  let reg = Control.Session.control_metrics session in
+  let completed =
+    (Silkroad.Switch.stats (Control.Session.switches session).(0)).updates_completed
+  in
+  check Alcotest.int "updates completed" 2 completed;
+  match Telemetry.Registry.find_histogram reg "control.update_apply_seconds" with
+  | None -> Alcotest.fail "control.update_apply_seconds missing"
+  | Some h ->
+      check Alcotest.int "every update observed" completed (Telemetry.Histogram.count h);
+      check Alcotest.bool "with live traffic the 3-step protocol takes real time" true
+        (Telemetry.Histogram.max_value h > 0.)
+
+(* ----- scripted serve == batch replay ----- *)
+
+(* Dyadic control times: step 1/4 keeps every partial sum exact. *)
+let identity_updates =
+  [
+    (4.25, vip 0, Lb.Balancer.Dip_remove (dip 2));
+    (7.5, vip 1, Lb.Balancer.Dip_add (dip 23));
+    (7.5, vip 0, Lb.Balancer.Dip_add (dip 2));
+    (11.75, vip 1, Lb.Balancer.Dip_replace { old_dip = dip 20; new_dip = dip 24 });
+    (13., vip 2, Lb.Balancer.Dip_remove (dip 30));
+    (15.25, vip 2, Lb.Balancer.Dip_add (dip 30));
+  ]
+
+let script_of_updates updates =
+  (* absolute times -> relative advance lines + the update commands *)
+  let buf = Buffer.create 256 in
+  let now = ref 0. in
+  List.iter
+    (fun (t, v, u) ->
+      if t > !now then begin
+        Buffer.add_string buf (P.render { P.seq = None; cmd = P.Advance (t -. !now) });
+        Buffer.add_char buf '\n';
+        now := t
+      end;
+      let cmd =
+        match u with
+        | Lb.Balancer.Dip_add d -> P.Dip_add (v, d)
+        | Lb.Balancer.Dip_remove d -> P.Dip_remove (v, d)
+        | Lb.Balancer.Dip_replace { old_dip; new_dip } ->
+            P.Dip_replace { vip = v; old_dip; new_dip }
+      in
+      Buffer.add_string buf (P.render { P.seq = None; cmd });
+      Buffer.add_char buf '\n')
+    updates;
+  Buffer.add_string buf "drain\nquit\n";
+  Buffer.contents buf
+
+let serve_vs_batch ~shards () =
+  let vips =
+    [
+      (vip 0, Lb.Dip_pool.of_list [ dip 0; dip 1; dip 2 ]);
+      (vip 1, Lb.Dip_pool.of_list [ dip 20; dip 21; dip 22 ]);
+      (vip 2, Lb.Dip_pool.of_list [ dip 30; dip 31 ]);
+    ]
+  in
+  let flows = Test_replay.random_flows ~seed:42 ~n:150 ~span:16. vips in
+  let horizon = 40. in
+  let trace = Harness.Packed_trace.compile ~horizon flows in
+  (* batch leg, capturing the switches it creates *)
+  let captured = ref [] in
+  let make_switch () =
+    let sw = Silkroad.Switch.create Silkroad.Config.default in
+    List.iter (fun (v, pool) -> Silkroad.Switch.add_vip sw v pool) vips;
+    captured := sw :: !captured;
+    sw
+  in
+  let mode =
+    if shards > 1 then Harness.Replay.Sharded { shards; parallel = false }
+    else Harness.Replay.Batch
+  in
+  let controls = Harness.Replay.controls_of_updates ~horizon identity_updates in
+  let batch = Harness.Replay.run ~mode ~make_switch ~trace ~controls () in
+  (* serve leg: the same workload as a command script through the full
+     parse -> session -> stepper path *)
+  let session = Control.Session.create ~shards ~vips ~trace () in
+  String.split_on_char '\n' (script_of_updates identity_updates)
+  |> List.iter (fun l ->
+         match Control.Session.exec_line session l with
+         | Some { P.body = Error m; _ } -> Alcotest.failf "%S failed: %s" l m
+         | Some { P.body = Ok _; _ } | None -> ());
+  let c = Control.Session.counts session in
+  check Alcotest.int "packets" batch.Harness.Replay.packets c.c_packets;
+  check Alcotest.int "dropped" batch.Harness.Replay.dropped c.c_dropped;
+  check Alcotest.int "connections" batch.Harness.Replay.connections c.c_connections;
+  check Alcotest.int "broken" batch.Harness.Replay.broken c.c_broken;
+  check Alcotest.int "violations" batch.Harness.Replay.violations c.c_violations;
+  let batch_switch_snapshot =
+    Telemetry.Registry.snapshot
+      (Telemetry.Registry.merge_all (List.rev_map Silkroad.Switch.metrics !captured))
+  in
+  check Alcotest.bool "switch telemetry byte-identical" true
+    (Telemetry.Snapshot.equal batch_switch_snapshot (session_state session));
+  check Alcotest.string "switch telemetry JSON byte-identical"
+    (Telemetry.Snapshot.to_json batch_switch_snapshot)
+    (Telemetry.Snapshot.to_json (session_state session))
+
+let health_matches_updates () =
+  (* health down/up must be byte-equivalent to the Dip_remove/Dip_add
+     controls it expands to *)
+  let vips =
+    [
+      (vip 0, Lb.Dip_pool.of_list [ dip 0; dip 1; dip 2 ]);
+      (vip 1, Lb.Dip_pool.of_list [ dip 0; dip 21 ]);
+    ]
+  in
+  let flows = Test_replay.random_flows ~seed:9 ~n:100 ~span:12. vips in
+  let horizon = 30. in
+  let trace = Harness.Packed_trace.compile ~horizon flows in
+  let expanded =
+    [
+      (5.25, vip 0, Lb.Balancer.Dip_remove (dip 0));
+      (5.25, vip 1, Lb.Balancer.Dip_remove (dip 0));
+      (9.5, vip 0, Lb.Balancer.Dip_add (dip 0));
+      (9.5, vip 1, Lb.Balancer.Dip_add (dip 0));
+    ]
+  in
+  let captured = ref [] in
+  let make_switch () =
+    let sw = Silkroad.Switch.create Silkroad.Config.default in
+    List.iter (fun (v, pool) -> Silkroad.Switch.add_vip sw v pool) vips;
+    captured := sw :: !captured;
+    sw
+  in
+  let batch =
+    Harness.Replay.run ~make_switch ~trace
+      ~controls:(Harness.Replay.controls_of_updates ~horizon expanded)
+      ()
+  in
+  let session = Control.Session.create ~vips ~trace () in
+  List.iter
+    (fun l -> ignore (expect_ok session l))
+    [
+      "advance 5.25";
+      Printf.sprintf "health down %s" (e (dip 0));
+      "advance 4.25";
+      Printf.sprintf "health up %s" (e (dip 0));
+      "drain";
+    ];
+  let c = Control.Session.counts session in
+  check Alcotest.int "packets" batch.Harness.Replay.packets c.c_packets;
+  check Alcotest.int "broken" batch.Harness.Replay.broken c.c_broken;
+  let batch_switch_snapshot =
+    Telemetry.Registry.snapshot
+      (Telemetry.Registry.merge_all (List.rev_map Silkroad.Switch.metrics !captured))
+  in
+  check Alcotest.bool "switch telemetry byte-identical" true
+    (Telemetry.Snapshot.equal batch_switch_snapshot (session_state session))
+
+let suites =
+  [
+    ( "control.protocol",
+      [
+        QCheck_alcotest.to_alcotest qcheck_line_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+        QCheck_alcotest.to_alcotest qcheck_parse_total;
+        tc "malformed lines rejected, blanks skipped" `Quick garbage_rejected;
+      ] );
+    ( "control.session",
+      [
+        tc "rejects bad commands without state change" `Quick rejects_without_state_change;
+        tc "idempotent re-delivery" `Quick idempotent_redelivery;
+        tc "health down/up fan-out" `Quick health_semantics;
+        tc "vip-remove tears down traffic" `Quick vip_remove_drops_traffic;
+        tc "update hook feeds apply-latency histogram" `Quick update_hook_observes_latency;
+      ] );
+    ( "control.identity",
+      [
+        tc "scripted serve == batch replay" `Quick (serve_vs_batch ~shards:1);
+        tc "scripted serve == sharded replay" `Quick (serve_vs_batch ~shards:4);
+        tc "health events == expanded updates" `Quick health_matches_updates;
+      ] );
+  ]
