@@ -1,4 +1,4 @@
-.PHONY: all build test check bench soak lint fmt fmt-check clean
+.PHONY: all build test check bench soak lint verify fmt fmt-check clean
 
 all: build
 
@@ -8,11 +8,12 @@ build:
 test:
 	dune runtest
 
-# Full verification: build everything, run the test suite, then a smoke
-# bench run that exercises the telemetry pipeline end to end (leaving
-# its registry snapshot in BENCH_telemetry.json) and the control-plane
-# smoke bench (serve-mode update churn under replay load).
-check: build test
+# Full verification: build everything, run the test suite and the
+# silkroad-verify gate, then a smoke bench run that exercises the
+# telemetry pipeline end to end (leaving its registry snapshot in
+# BENCH_telemetry.json) and the control-plane smoke bench (serve-mode
+# update churn under replay load).
+check: build test verify
 	dune exec bench/main.exe -- --smoke
 	dune exec bench/main.exe -- --control --smoke
 
@@ -25,6 +26,14 @@ bench:
 # this as the `lint` job.
 lint: build
 	dune exec bin/silkroad_cli.exe -- lint
+
+# silkroad-verify: the inter-procedural Domain-safety race analysis over
+# the built .cmt trees plus the bounded PCC model checker (exhausts the
+# update/packet interleaving scopes and demands every seeded mutation is
+# killed). Non-zero exit on any error-level finding; CI runs this as the
+# `verify` job and `check` depends on it.
+verify: build
+	dune exec bin/silkroad_cli.exe -- verify
 
 # The chaos soak: every built-in fault scenario crossed with every
 # balancer at the full operating point (~10 minutes). Writes one

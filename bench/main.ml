@@ -124,12 +124,14 @@ let run_micro ppf =
           (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
           instance results
       in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ ns ] -> Format.fprintf ppf "  %-28s %10.1f ns/op@." name ns
-          | Some _ | None -> Format.fprintf ppf "  %-28s (no estimate)@." name)
-        ols)
+      (* collect and sort: Hashtbl order is seed-dependent and this
+         prints straight into the report *)
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) ols []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             match Analyze.OLS.estimates ols with
+             | Some [ ns ] -> Format.fprintf ppf "  %-28s %10.1f ns/op@." name ns
+             | Some _ | None -> Format.fprintf ppf "  %-28s (no estimate)@." name))
     (micro_ops ())
 
 (* The --smoke variant: fixed-count timed loops, coarse but seconds-fast

@@ -621,6 +621,118 @@ let lint_cmd =
     Term.(ret (const run $ json_flag $ pipeline_flag $ source_flag $ root $ conns $ vips
                $ verbose_flag))
 
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let json_flag = Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.") in
+  let races_flag =
+    Arg.(value & flag
+         & info [ "races" ] ~doc:"Run only the inter-procedural Domain-safety race analysis.")
+  in
+  let model_flag =
+    Arg.(value & flag
+         & info [ "model" ] ~doc:"Run only the bounded PCC model checker.")
+  in
+  let root =
+    Arg.(value & opt string "."
+         & info [ "root" ] ~docv:"DIR"
+             ~doc:"Repository root; the race analysis reads the typed trees under \
+                   $(docv)/_build/default/lib (run dune build first).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write each mutation-killing counterexample as a serve-mode protocol \
+                   script under $(docv) (replayable with silkroad serve --script).")
+  in
+  let run json races model root out verbose =
+    setup_logs verbose;
+    let do_races = races || not model in
+    let do_model = model || not races in
+    let race_result =
+      if do_races then Some (Analysis.Domain_safety.analyze_root ~root ()) else None
+    in
+    let model_report = if do_model then Some (Analysis.Modelcheck.run_verify ()) else None in
+    let race_diags =
+      match race_result with Some r -> r.Analysis.Domain_safety.diags | None -> []
+    in
+    let model_diags =
+      match model_report with Some r -> r.Analysis.Modelcheck.rp_diags | None -> []
+    in
+    let ds = race_diags @ model_diags in
+    (match (out, model_report) with
+     | Some dir, Some report ->
+       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+       List.iter
+         (fun (mu, _, killed) ->
+           match killed with
+           | Some (ce, _) ->
+             let path =
+               Filename.concat dir
+                 (Printf.sprintf "counterexample-%s.txt" (Analysis.Modelcheck.mutation_name mu))
+             in
+             Out_channel.with_open_text path (fun oc ->
+                 output_string oc (Analysis.Modelcheck.ce_script ce));
+             if not json then Format.fprintf ppf "# wrote %s@." path
+           | None -> ())
+         report.Analysis.Modelcheck.rp_mutants
+     | _ -> ());
+    if json then begin
+      let summary =
+        Telemetry.Json.Obj
+          ((match race_result with
+            | None -> []
+            | Some r ->
+              [ ( "races",
+                  Telemetry.Json.Obj
+                    [ ("units", Telemetry.Json.Int r.Analysis.Domain_safety.units);
+                      ("bindings", Telemetry.Json.Int r.Analysis.Domain_safety.bindings);
+                      ("roots_matched", Telemetry.Json.Int r.Analysis.Domain_safety.roots_matched);
+                      ("reachable", Telemetry.Json.Int r.Analysis.Domain_safety.reachable);
+                      ("shared_mutable", Telemetry.Json.Int r.Analysis.Domain_safety.shared_mutable);
+                      ("synchronized", Telemetry.Json.Int r.Analysis.Domain_safety.synchronized) ] ) ])
+          @ (match model_report with
+             | None -> []
+             | Some r ->
+               [ ( "model",
+                   Telemetry.Json.Obj
+                     (List.map
+                        (fun (sc, oc) ->
+                          ( sc.Analysis.Modelcheck.sc_name,
+                            Telemetry.Json.Obj
+                              [ ("runs", Telemetry.Json.Int oc.Analysis.Modelcheck.oc_runs);
+                                ("events", Telemetry.Json.Int oc.Analysis.Modelcheck.oc_events);
+                                ("violating", Telemetry.Json.Int oc.Analysis.Modelcheck.oc_violating);
+                                ("recycled", Telemetry.Json.Int oc.Analysis.Modelcheck.oc_recycled) ] ))
+                        r.Analysis.Modelcheck.rp_shipped) ) ])
+          @ [ ("diagnostics", Analysis.Diag.list_to_json ds) ])
+      in
+      print_endline (Telemetry.Json.to_string_pretty summary)
+    end
+    else begin
+      (match race_result with
+       | Some r ->
+         Format.fprintf ppf
+           "# races: %d units, %d bindings, %d reachable from %d Domain roots@."
+           r.Analysis.Domain_safety.units r.Analysis.Domain_safety.bindings
+           r.Analysis.Domain_safety.reachable r.Analysis.Domain_safety.roots_matched
+       | None -> ());
+      Format.fprintf ppf "%a@." Analysis.Diag.pp_list ds
+    end;
+    match Analysis.Diag.errors ds with
+    | 0 -> `Ok ()
+    | n -> `Error (false, Printf.sprintf "verify: %d error(s)" n)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Prove the update/packet interleaving discipline and hunt cross-Domain races: an \
+          inter-procedural Domain-safety analysis over the compiler's typed trees \
+          (--races) and a bounded exhaustive model checker of the 3-step PCC update \
+          protocol with seeded mutations (--model). Exit non-zero on any error-level \
+          finding.")
+    Term.(ret (const run $ json_flag $ races_flag $ model_flag $ root $ out $ verbose_flag))
+
 let () =
   let doc = "SilkRoad: stateful L4 load balancing in a switching ASIC (SIGCOMM'17 reproduction)" in
   let info = Cmd.info "silkroad" ~version:"1.0.0" ~doc in
@@ -628,4 +740,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; chaos_cmd; memory_cmd; p4_cmd;
-            trace_generate_cmd; trace_replay_cmd; serve_cmd; lint_cmd ]))
+            trace_generate_cmd; trace_replay_cmd; serve_cmd; lint_cmd; verify_cmd ]))

@@ -6,7 +6,6 @@ let rules =
     ("det.poly-hash", "polymorphic Hashtbl.hash");
     ("det.poly-compare", "polymorphic compare/(=) passed as a value");
     ("det.hashtbl-order", "Hashtbl iteration order escaping into formatted output");
-    ("det.domain-unsafe", "module-toplevel mutable state reachable from sharded replay");
     ("src.parse", "file does not parse") ]
 
 let loc_of (l : Location.t) =
@@ -46,23 +45,6 @@ let sinks =
 
 let sorts = [ "List.sort"; "List.stable_sort"; "List.fast_sort"; "List.sort_uniq"; "Array.sort" ]
 
-(* constructors of mutable containers: a module-toplevel [let] whose
-   right-hand side evaluates one of these at load time creates state
-   shared by every Domain the sharded replay spawns *)
-let mutable_makers =
-  [ "ref"; "Stdlib.ref"; "Hashtbl.create"; "Stdlib.Hashtbl.create"; "Queue.create";
-    "Stack.create"; "Buffer.create"; "Array.make"; "Array.init"; "Array.create_float";
-    "Stdlib.Array.make"; "Bytes.create"; "Bytes.make" ]
-
-(* libraries on the sharded-replay call path ([Harness.Replay.run] with
-   [parallel = true]); [lib/experiments] and [bin] stay single-domain *)
-let domain_scope_dirs =
-  [ "lib/netcore/"; "lib/asic/"; "lib/lb/"; "lib/silkroad/"; "lib/telemetry/"; "lib/harness/" ]
-
-let contains_substring s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
 let hashtbl_iters p =
   (* any [X.Hashtbl.iter]-shaped path, including plain [Hashtbl.iter] *)
   List.exists
@@ -74,35 +56,7 @@ let lint_structure ~file str =
   let add ~loc rule severity msg hint =
     diags := Diag.v ~loc:(loc_of loc) ~hint ~rule ~severity msg :: !diags
   in
-  (* det.domain-unsafe: mutable containers built at module load time in
-     a library the sharded replay runs on Domains. Anything allocated
-     under a [fun]/[function]/[lazy] is per-call, hence safe. *)
-  let scan_mutable_init e =
-    let expr it x =
-      match x.pexp_desc with
-      | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
-      | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
-        let p = path_of txt in
-        if List.mem p mutable_makers then
-          add ~loc "det.domain-unsafe" Diag.Error
-            (Printf.sprintf
-               "toplevel %s builds mutable state shared across replay shard Domains" p)
-            "allocate inside the value's owner (create function or record), or allowlist \
-             with [@@@silkroad.allow \"det.domain-unsafe\"]";
-        List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
-      | _ -> Ast_iterator.default_iterator.expr it x
-    in
-    let it = { Ast_iterator.default_iterator with expr } in
-    it.Ast_iterator.expr it e
-  in
-  let rec check_domain_unsafe item =
-    match item.pstr_desc with
-    | Pstr_value (_, bindings) -> List.iter (fun vb -> scan_mutable_init vb.pvb_expr) bindings
-    | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
-      List.iter check_domain_unsafe s
-    | _ -> ()
-  in
-  if List.exists (contains_substring file) domain_scope_dirs then List.iter check_domain_unsafe str;
+  ignore file;
   (* does a sink/sort identifier occur anywhere under [e]? *)
   let scan_for idents e =
     let found = ref false in
@@ -199,4 +153,5 @@ let lint_dirs dirs =
   let files = List.sort String.compare (List.fold_left walk [] dirs) in
   List.concat_map lint_file files
 
-let default_dirs ~root = [ Filename.concat root "lib"; Filename.concat root "bin" ]
+let default_dirs ~root =
+  List.map (Filename.concat root) [ "lib"; "bin"; "test"; "bench" ]

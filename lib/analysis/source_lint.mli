@@ -24,15 +24,10 @@
       whose callback writes to a formatted sink ([Format]/[Printf]/
       [Buffer]/[print_*]) with no sort in its arguments — one write
       per entry, in seed-dependent table order, leaks into reports.
-    - [det.domain-unsafe] ({e error}): a module-toplevel [let] whose
-      right-hand side builds a mutable container ([ref],
-      [Hashtbl.create], [Array.make], ...) outside [fun]/[function]/
-      [lazy], in a library on the sharded-replay call path
-      ([lib/netcore], [lib/asic], [lib/lb], [lib/silkroad],
-      [lib/telemetry], [lib/harness]) — such state is shared by every
-      Domain [Harness.Replay.run ~mode:(Sharded {parallel = true})]
-      spawns. [lib/experiments] and [bin] are single-domain and out of
-      scope.
+    The toplevel-mutable [det.domain-unsafe] rule that used to live
+    here is subsumed by {!Domain_safety}, which finds shared mutable
+    state {e inter-procedurally} from the actual Domain entry points
+    instead of flagging definitions by directory.
 
     A file opts a rule out with a structure-level attribute, e.g.
     [[@@@silkroad.allow "det.wall-clock"]] (file-wide; the attribute
@@ -53,6 +48,7 @@ val lint_dirs : string list -> Diag.t list
     hidden directories. *)
 
 val default_dirs : root:string -> string list
-(** [lib] and [bin] under [root] — the shipped-code surface the CI
-    gate lints (tests may use wall clocks to report their own
-    duration). *)
+(** [lib], [bin], [test] and [bench] under [root] — the full source
+    surface the CI gate lints. Tests and benches matter too: a
+    nondeterministic expectation (unsorted [Hashtbl] render, polymorphic
+    comparator) makes a green run unreproducible. *)

@@ -81,6 +81,22 @@ let tokenize s =
   |> String.split_on_char ' '
   |> List.filter (fun t -> t <> "")
 
+(* Socket clients send CRLF line endings and the odd trailing
+   tab/space; input_line only strips the '\n'. A line ending in '\r'
+   came off such a client, so the whole trailing-whitespace run goes;
+   a line without one is canonical and stays byte-verbatim (responses
+   carry their payload verbatim, trailing spaces included). *)
+let strip_line s =
+  let n = String.length s in
+  if n = 0 || s.[n - 1] <> '\r' then s
+  else begin
+    let rec last i =
+      if i > 0 && (s.[i - 1] = ' ' || s.[i - 1] = '\t' || s.[i - 1] = '\r') then last (i - 1)
+      else i
+    in
+    String.sub s 0 (last n)
+  end
+
 let parse_endpoint what tok =
   match Netcore.Endpoint.of_string tok with
   | Some e -> Ok e
@@ -201,6 +217,7 @@ let render_response { rseq; body } =
    verbatim (minus the one separating space), so responses round-trip
    byte-exactly. *)
 let parse_response s =
+  let s = strip_line s in
   let* status, rest =
     if String.length s >= 3 && String.sub s 0 3 = "ok " then Ok (`Ok, String.sub s 3 (String.length s - 3))
     else if s = "ok" then Ok (`Ok, "")

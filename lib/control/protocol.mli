@@ -68,10 +68,18 @@ val render : line -> string
 
 val parse : string -> (line option, string) result
 (** [Ok None] for blank/comment lines, [Error _] (human-readable, never
-    raising) for anything else that is not a well-formed command. *)
+    raising) for anything else that is not a well-formed command.
+    Tolerant of socket-client line endings: tabs, carriage returns and
+    runs of spaces all separate tokens, so CRLF-terminated and
+    trailing-whitespace lines parse like their canonical forms.
+    [parse ∘ render] is the identity on well-formed lines. *)
 
 val render_response : response -> string
 val parse_response : string -> (response, string) result
+(** Exact inverse of {!render_response}: the payload is carried
+    verbatim, trailing spaces included. A line ending in ['\r'] came
+    off a CRLF socket client, so its whole trailing-whitespace run is
+    stripped before parsing. *)
 
 val pp_line : Format.formatter -> line -> unit
 val pp_response : Format.formatter -> response -> unit

@@ -64,6 +64,13 @@ val advance : t -> now:float -> unit
     complete due insertions/deletions, progress update jobs, expire idle
     entries. *)
 
+val barrier_deadline : float
+(** Liveness valve on the §4.3 step-1/step-3 barriers: an update stuck
+    waiting longer than this (seconds of virtual time) is force-released
+    and counted under [forced_transitions]. Exposed so external models
+    of the update machinery (e.g. {!Analysis.Modelcheck}) can mirror the
+    exact instant safety is traded for liveness. *)
+
 val process : t -> now:float -> Netcore.Packet.t -> Lb.Balancer.outcome
 (** Forward one packet (implies [advance]). *)
 

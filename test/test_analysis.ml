@@ -183,40 +183,9 @@ let source_negatives_clean () =
   check Alcotest.(list string) "allow attribute" []
     (rules_of "[@@@silkroad.allow \"det.wall-clock\"]\nlet t = Sys.time ()")
 
-(* det.domain-unsafe fires on load-time mutable containers, only inside
-   the libraries the sharded replay runs on Domains *)
-let rules_in file src =
-  List.map
-    (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.rule)
-    (Analysis.Source_lint.lint_string ~file src)
-
-let domain_unsafe_caught () =
-  let shared = "lib/silkroad/x.ml" in
-  check Alcotest.(list string) "toplevel ref" [ "det.domain-unsafe" ]
-    (rules_in shared "let memo = ref 0");
-  check Alcotest.(list string) "toplevel Hashtbl" [ "det.domain-unsafe" ]
-    (rules_in shared "let cache = Hashtbl.create 16");
-  check Alcotest.(list string) "toplevel array under a record" [ "det.domain-unsafe" ]
-    (rules_in shared "let pool = { slots = Array.make 8 0; used = 0 }");
-  check Alcotest.(list string) "nested module counts" [ "det.domain-unsafe" ]
-    (rules_in shared "module M = struct let q = Queue.create () end")
-
-let domain_unsafe_negatives () =
-  let shared = "lib/harness/x.ml" in
-  (* allocation under a function is per-call *)
-  check Alcotest.(list string) "under fun" [] (rules_in shared "let f () = Hashtbl.create 16");
-  check Alcotest.(list string) "under lazy" []
-    (rules_in shared "let t = lazy (Hashtbl.create 16)");
-  (* immutable toplevel values are fine *)
-  check Alcotest.(list string) "immutable list" [] (rules_in shared "let xs = [ 1; 2; 3 ]");
-  (* out-of-scope trees keep their memo tables *)
-  check Alcotest.(list string) "lib/experiments out of scope" []
-    (rules_in "lib/experiments/common.ml" "let memo = ref None");
-  check Alcotest.(list string) "bin out of scope" []
-    (rules_in "bin/cli.ml" "let buf = Buffer.create 80");
-  (* the allowlist attribute works for this rule too *)
-  check Alcotest.(list string) "allow attribute" []
-    (rules_in shared "[@@@silkroad.allow \"det.domain-unsafe\"]\nlet memo = ref 0")
+(* The old toplevel-mutable [det.domain-unsafe] rule moved to
+   Analysis.Domain_safety (inter-procedural, over typed trees);
+   its fixtures live in Test_verify now. *)
 
 (* Walk up from cwd to the repository root (dune-project); the test
    binary runs in _build/default/test. *)
@@ -235,7 +204,7 @@ let shipped_tree_clean () =
     let ds = Analysis.Source_lint.lint_dirs (Analysis.Source_lint.default_dirs ~root) in
     let errs = List.filter (fun (d : Analysis.Diag.t) -> d.Analysis.Diag.severity = Analysis.Diag.Error) ds in
     List.iter (fun d -> Format.eprintf "%a@." Analysis.Diag.pp d) errs;
-    check Alcotest.int "no determinism errors in lib/ and bin/" 0 (List.length errs)
+    check Alcotest.int "no determinism errors in lib/, bin/, test/, bench/" 0 (List.length errs)
 
 (* ---------- network-wide mode ---------- *)
 
@@ -311,8 +280,6 @@ let suites =
         tc "seeded fixtures caught" `Quick source_fixtures_caught;
         tc "locations" `Quick source_fixture_locations;
         tc "negatives stay clean" `Quick source_negatives_clean;
-        tc "domain-unsafe caught" `Quick domain_unsafe_caught;
-        tc "domain-unsafe negatives" `Quick domain_unsafe_negatives;
         tc "shipped tree lints clean" `Quick shipped_tree_clean;
       ] );
     ( "analysis.network",

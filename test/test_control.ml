@@ -148,6 +148,52 @@ let garbage_rejected () =
       | Ok (Some _) | Error _ -> Alcotest.failf "%S should be blank" s)
     [ ""; "   "; "# comment"; "  # indented comment"; "\t" ]
 
+(* Socket clients terminate lines with CRLF and the odd trailing
+   tab/space; both halves of the protocol must treat those like the
+   canonical line. *)
+let crlf_tolerated () =
+  let same canonical noisy =
+    match (P.parse canonical, P.parse noisy) with
+    | Ok (Some a), Ok (Some b) when P.equal_line a b -> ()
+    | _, Error e -> Alcotest.failf "%S rejected: %s" noisy e
+    | _, Ok None -> Alcotest.failf "%S treated as blank" noisy
+    | _, Ok (Some b) -> Alcotest.failf "%S parsed as %S" noisy (P.render b)
+  in
+  same "quit" "quit\r";
+  same "drain" "drain \r";
+  same "advance 0.5" "advance 0.5\r";
+  same "advance 0.5" "advance\t0.5  \t\r";
+  same "vip-add 10.0.0.1:80 20.0.0.1:8080" "vip-add 10.0.0.1:80 20.0.0.1:8080\r";
+  same "@7 dip-remove 10.0.0.1:80 20.0.0.1:8080" "@7  dip-remove  10.0.0.1:80  20.0.0.1:8080\r";
+  (match P.parse "# comment\r" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "CRLF comment should be blank");
+  (match P.parse "  \t\r" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "CRLF whitespace line should be blank")
+
+let crlf_response_tolerated () =
+  let resp s =
+    match P.parse_response s with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "%S rejected: %s" s e
+  in
+  let body s = (resp s).P.body in
+  check (Alcotest.result Alcotest.string Alcotest.string) "bare ok" (Ok "") (body "ok\r");
+  check (Alcotest.result Alcotest.string Alcotest.string) "ok with seq/payload"
+    (Ok "done") (body "ok @3 done\r" );
+  check (Alcotest.option Alcotest.int) "seq survives" (Some 3) (resp "ok @3 done\r").P.rseq;
+  check (Alcotest.result Alcotest.string Alcotest.string) "err payload stripped"
+    (Error "boom") (body "err boom \t\r");
+  (* ...but a canonical (non-CRLF) line keeps its payload verbatim,
+     trailing spaces included — parse_response stays the exact inverse
+     of render_response *)
+  check (Alcotest.result Alcotest.string Alcotest.string) "canonical trailing space kept"
+    (Ok "x ") (body "ok x ");
+  match P.parse_response "okx\r" with
+  | Error _ -> ()
+  | Ok r -> Alcotest.failf "%S accepted as %S" "okx\r" (P.render_response r)
+
 (* ----- session semantics ----- *)
 
 let vip k = Experiments.Common.vip k
@@ -452,6 +498,8 @@ let suites =
         QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
         QCheck_alcotest.to_alcotest qcheck_parse_total;
         tc "malformed lines rejected, blanks skipped" `Quick garbage_rejected;
+        tc "CRLF/trailing-whitespace commands tolerated" `Quick crlf_tolerated;
+        tc "CRLF responses stripped, canonical payloads verbatim" `Quick crlf_response_tolerated;
       ] );
     ( "control.session",
       [

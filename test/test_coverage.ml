@@ -77,7 +77,7 @@ let prng_shuffle_permutes () =
   let arr = Array.init 50 (fun i -> i) in
   Simnet.Prng.shuffle rng arr;
   let sorted = Array.copy arr in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   check Alcotest.bool "same elements" true (sorted = Array.init 50 (fun i -> i));
   check Alcotest.bool "actually shuffled" true (arr <> Array.init 50 (fun i -> i))
 

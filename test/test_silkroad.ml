@@ -989,7 +989,9 @@ let assignment_basic () =
   check Alcotest.int "none unplaced" 0 (List.length p.Silkroad.Assignment.unplaced);
   check Alcotest.bool "within budget" true (p.Silkroad.Assignment.max_sram_utilization <= 1.);
   (* both layers should be used: min-max balancing *)
-  let used_layers = List.sort_uniq compare (List.map snd p.Silkroad.Assignment.assignment) in
+  let used_layers =
+    List.sort_uniq String.compare (List.map snd p.Silkroad.Assignment.assignment)
+  in
   check Alcotest.int "both layers" 2 (List.length used_layers)
 
 let assignment_overflow_reported () =
