@@ -63,4 +63,4 @@ fmt-check:
 clean:
 	dune clean
 	rm -f BENCH_telemetry.json CHAOS_soak.*.json chaos_report*.json
-	rm -f BENCH_control.json.tmp BENCH_replay.json.tmp *.sock
+	rm -f BENCH_control.json.tmp BENCH_replay.json.tmp *.sock *.srptrc

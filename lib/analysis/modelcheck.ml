@@ -1066,8 +1066,8 @@ let model_observe ~cfg ~flows ~removed ~events ~horizon =
     ob_repairs = r.rr_repairs;
   }
 
-let switch_observe ~cfg ~flows ~removed ~events ~horizon =
-  let sw = Silkroad.Switch.create ~check:`Off cfg in
+let switch_observe ?conn_layout ~cfg ~flows ~removed ~events ~horizon () =
+  let sw = Silkroad.Switch.create ~check:`Off ?conn_layout cfg in
   Silkroad.Switch.add_vip sw model_vip (pool_full ());
   let n_pkts =
     List.length (List.filter (fun (_, e) -> match e with Pkt _ -> true | Upd _ -> false) events)

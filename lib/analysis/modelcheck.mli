@@ -167,15 +167,19 @@ val model_observe :
   obs
 
 val switch_observe :
+  ?conn_layout:Silkroad.Conn_table.layout ->
   cfg:Silkroad.Config.t ->
   flows:Netcore.Five_tuple.t array ->
   removed:Netcore.Endpoint.t array ->
   events:(float * event) list ->
   horizon:float ->
+  unit ->
   obs
 (** Drive a real {!Silkroad.Switch.process_flow} through the same
     schedule ({!Harness.Replay.Stepper}'s discipline: packets strictly
-    between controls, update exclusion before request). *)
+    between controls, update exclusion before request). [?conn_layout]
+    selects the ConnTable layout (default [`Flat]); the conformance
+    suite runs both and pins them to the model. *)
 
 val model_vip : Netcore.Endpoint.t
 val model_dips : unit -> Netcore.Endpoint.t array

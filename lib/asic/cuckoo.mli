@@ -1,12 +1,21 @@
-(** Multi-stage cuckoo exact-match tables.
+(** Multi-stage cuckoo exact-match tables — flat SoA layout.
 
     Modern switching ASICs implement large exact-match tables as cuckoo
     hash tables spread over several physical pipeline stages (§4.1). Each
     stage has its own hash function addressing rows of [ways] slots
     (word packing puts the [ways] entries of a row in one SRAM word).
     Lookup probes one row per stage at line rate; insertion is performed
-    by the switch CPU, which runs a breadth-first search over eviction
-    chains to make room ("a sequence of moves").
+    by the switch CPU, which first tries a bounded greedy kick of the
+    depth-1 eviction frontier and then runs a breadth-first search over
+    eviction chains to make room ("a sequence of moves").
+
+    This implementation stores the table as flat parallel arrays —
+    per-slot digests in one int array, true keys and values in two
+    lazily-created companion arrays — mirroring how the hardware packs a
+    row's [ways] digests into one SRAM word, and runs the BFS in a
+    pre-allocated scratch arena so inserts allocate nothing. The
+    original per-slot boxed layout survives as {!Cuckoo_boxed}, pinned
+    placement-identical by the differential suite.
 
     Two matching modes are supported:
 
@@ -15,115 +24,14 @@
       digest of the key is stored and compared, the compression at the
       heart of SilkRoad's ConnTable (§4.2). Lookups can then falsely hit
       an entry whose digest collides; software-side functions
-      ({!find_exact}, {!remove}, {!relocate}) always use the true key,
-      which the switch software keeps in its shadow copy.
+      ({!Cuckoo_intf.S.find_exact}, {!Cuckoo_intf.S.remove},
+      {!Cuckoo_intf.S.relocate}) always use the true key, which the
+      switch software keeps in its shadow copy.
 
     The table never resizes: when the BFS cannot free a slot the insert
     fails with [`Full], which is exactly the "ConnTable is full" overflow
     condition §7 discusses. *)
 
-module type KEY = sig
-  type t
+module type KEY = Cuckoo_intf.KEY
 
-  val equal : t -> t -> bool
-  val hash : seed:int -> t -> int64
-end
-
-module Make (Key : KEY) : sig
-  type 'v t
-
-  type 'v hit = {
-    stage : int;  (** stage of the matching entry *)
-    exact : bool;  (** false when the hit is a digest false positive *)
-    key : Key.t;  (** the true key of the matched entry *)
-    value : 'v;
-  }
-
-  val create :
-    ?seed:int ->
-    ?digest_bits:int ->
-    ?max_bfs_nodes:int ->
-    stages:int ->
-    rows_per_stage:int ->
-    ways:int ->
-    unit ->
-    'v t
-
-  val stages : _ t -> int
-  val rows_per_stage : _ t -> int
-  val ways : _ t -> int
-  val digest_bits : _ t -> int option
-  val capacity : _ t -> int
-  val size : _ t -> int
-  val occupancy : _ t -> float
-
-  val lookup : 'v t -> Key.t -> 'v hit option
-  (** Hardware lookup: probes stages in pipeline order and returns the
-      first slot whose stored key (digest or full key) matches. *)
-
-  type 'v probe = {
-    mutable probe_hit : bool;
-    mutable probe_exact : bool;
-    mutable probe_stage : int;
-    mutable probe_value : 'v;
-  }
-  (** Caller-owned result buffer for {!lookup_into}: the replay fast
-      path reuses one per table instead of allocating a hit record per
-      packet. Fields other than [probe_hit] are meaningful only when
-      [probe_hit] is true. *)
-
-  val make_probe : 'v -> 'v probe
-  (** A fresh buffer; the argument is a placeholder value. *)
-
-  val lookup_into : 'v t -> Key.t -> 'v probe -> unit
-  (** Allocation-free {!lookup}: probes the same slots in the same order
-      and writes the outcome into the buffer. *)
-
-  val find_exact : 'v t -> Key.t -> 'v option
-  (** Software lookup by true key. *)
-
-  val mem_exact : _ t -> Key.t -> bool
-
-  val insert :
-    ?forbid_stages:int list -> 'v t -> Key.t -> 'v -> (int, [ `Full | `Duplicate ]) result
-  (** [insert t k v] places [k] using BFS eviction; [Ok moves] reports
-      how many existing entries were moved. [forbid_stages] restricts
-      only where [k] itself lands (entries displaced along the eviction
-      chain may go anywhere). [`Duplicate] if [k] is already present. *)
-
-  val remove : 'v t -> Key.t -> bool
-  (** Remove by true key. Returns false when absent. *)
-
-  val set_exact : 'v t -> Key.t -> 'v -> bool
-  (** Update the value of an existing entry in place. *)
-
-  val relocate : 'v t -> Key.t -> forbid_stages:int list -> (int, [ `Full | `Not_found ]) result
-  (** Move an existing entry so that it no longer occupies any of
-      [forbid_stages]. Used to repair digest false positives (§4.2):
-      the colliding resident entry is migrated to another stage, whose
-      different hash function separates the two connections. *)
-
-  val iter : (Key.t -> 'v -> unit) -> 'v t -> unit
-  val fold : (Key.t -> 'v -> 'a -> 'a) -> 'v t -> 'a -> 'a
-
-  val moves : _ t -> int
-  (** Cumulative entry moves performed by insertions/relocations. *)
-
-  val failed_inserts : _ t -> int
-
-  val stage_of_exact : _ t -> Key.t -> int option
-  (** Which stage holds the entry with this true key, if any. *)
-
-  val probe_positions : _ t -> Key.t -> (int * int * int) list
-  (** [(stage, row, digest)] triples the hardware probes when looking up
-      this key — one per stage ([digest] is [-1] in exact mode). Lets the
-      switch software maintain a shadow index of which table positions
-      each tracked connection would match. *)
-
-  val set_placement_filter : 'v t -> (Key.t -> stage:int -> row:int -> bool) option -> unit
-  (** Software veto over entry placement: when set, an entry for [key]
-      may only be placed (by insertion, eviction moves or relocation) in
-      a row where the filter returns [true]. Used to refuse positions
-      that would make an existing connection falsely match the new
-      entry (digest shadowing). *)
-end
+module Make (Key : KEY) : Cuckoo_intf.S with type key = Key.t

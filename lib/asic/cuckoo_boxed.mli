@@ -1,0 +1,12 @@
+(** The original per-slot boxed-record cuckoo table layout.
+
+    Kept as the semantic reference for {!Cuckoo} (the flat
+    structure-of-arrays layout): the differential suite runs identical
+    operation sequences through both and demands identical placements,
+    sizes, moves and lookups. Its insert path is the plain eviction-chain
+    BFS with per-insert queue/visited allocation — the behaviour the flat
+    layout's greedy-kick + scratch-arena path must reproduce exactly. *)
+
+module type KEY = Cuckoo_intf.KEY
+
+module Make (Key : KEY) : Cuckoo_intf.S with type key = Key.t

@@ -62,6 +62,15 @@ let next_deadline t =
   | Some at -> Some (at +. t.timeout)
   | None -> None
 
+(* Option-free [next_deadline] for per-packet polling: the switch's
+   [advance] calls this on every packet, and the [Some] boxes of
+   [next_deadline]/[oldest_time] were measurable on the replay path. *)
+let[@inline] next_deadline_or t ~default =
+  if Queue.is_empty t.queue then default
+  else
+    let _, _, at = Queue.peek t.queue in
+    at +. t.timeout
+
 let drain t =
   let events = Queue.fold (fun acc (k, m, _) -> (k, m) :: acc) [] t.queue in
   Queue.clear t.queue;

@@ -43,6 +43,10 @@ val next_deadline : _ t -> float option
 (** Absolute time at which the timeout of the oldest event fires, if any
     event is pending. *)
 
+val next_deadline_or : _ t -> default:float -> float
+(** Allocation-free {!next_deadline}: the deadline, or [default] when no
+    event is pending. Hot-path variant for per-packet polling. *)
+
 val drain : ('k, 'm) t -> ('k * 'm) list
 (** Hand all pending events to the CPU, oldest first, and empty the
     filter. *)

@@ -2,8 +2,7 @@ type 'k t = {
   granularity : float;
   slots : ('k, float) Hashtbl.t array;
   index : ('k, int) Hashtbl.t;  (** key -> slot currently holding it *)
-  mutable cursor : int;  (** next slot to sweep *)
-  mutable cursor_time : float;  (** time up to which slots were swept *)
+  mutable last_swept : int;  (** highest completed tick already swept *)
 }
 
 let create ~granularity ~slots () =
@@ -13,11 +12,8 @@ let create ~granularity ~slots () =
     granularity;
     slots = Array.init slots (fun _ -> Hashtbl.create 16);
     index = Hashtbl.create 64;
-    cursor = 0;
-    cursor_time = 0.;
+    last_swept = -1;
   }
-
-let slot_of t at = int_of_float (at /. t.granularity) mod Array.length t.slots
 
 let cancel t ~key =
   match Hashtbl.find_opt t.index key with
@@ -28,7 +24,10 @@ let cancel t ~key =
 
 let schedule t ~key ~at =
   cancel t ~key;
-  let slot = slot_of t (Float.max at t.cursor_time) in
+  (* never place a deadline into an already-completed tick: it would sit
+     unseen until the wheel came all the way around again *)
+  let tick = Int.max (int_of_float (at /. t.granularity)) (t.last_swept + 1) in
+  let slot = tick mod Array.length t.slots in
   Hashtbl.replace t.slots.(slot) key at;
   Hashtbl.replace t.index key slot
 
@@ -36,29 +35,38 @@ let mem t ~key = Hashtbl.mem t.index key
 
 let scheduled t = Hashtbl.length t.index
 
+(* Deadlines are delivered when their tick completes, i.e. up to one
+   granularity late. The payoff is the fast path: [advance] is called on
+   every packet, and while time moves within the current tick it is a
+   single integer compare — no slot scan, no allocation. The previous
+   version folded over the current slot's whole hashtable on every call,
+   which at millions of scheduled entries turned each packet into an
+   O(slot population) scan. *)
 let advance t ~now =
-  if now <= t.cursor_time then []
+  let target_tick = int_of_float (now /. t.granularity) in
+  if target_tick - 1 <= t.last_swept then []
   else begin
-    let expired = ref [] in
     let n = Array.length t.slots in
-    let target_tick = int_of_float (now /. t.granularity) in
-    let start_tick = int_of_float (t.cursor_time /. t.granularity) in
-    (* sweep at most one full revolution: later slots repeat *)
-    let ticks = Int.min (target_tick - start_tick) (n - 1) in
-    for tick = start_tick to start_tick + ticks do
-      let slot = tick mod n in
-      let due =
-        Hashtbl.fold (fun key at acc -> if at <= now then (key, at) :: acc else acc)
-          t.slots.(slot) []
-      in
-      List.iter
-        (fun (key, _) ->
-          Hashtbl.remove t.slots.(slot) key;
-          Hashtbl.remove t.index key)
-        due;
-      expired := due @ !expired
+    let last = target_tick - 1 in
+    (* at most one full revolution: n consecutive ticks visit every
+       slot, and the [at <= now] filter keeps future-revolution entries
+       in place regardless of which tick index visits their slot *)
+    let first = Int.max (t.last_swept + 1) (last - n + 1) in
+    let expired = ref [] in
+    for tick = first to last do
+      let h = t.slots.(tick mod n) in
+      if Hashtbl.length h > 0 then begin
+        let due =
+          Hashtbl.fold (fun key at acc -> if at <= now then (key, at) :: acc else acc) h []
+        in
+        List.iter
+          (fun (key, _) ->
+            Hashtbl.remove h key;
+            Hashtbl.remove t.index key)
+          due;
+        expired := due @ !expired
+      end
     done;
-    t.cursor_time <- now;
-    t.cursor <- target_tick mod n;
+    t.last_swept <- last;
     List.sort (fun (_, a) (_, b) -> Float.compare a b) !expired |> List.map fst
   end

@@ -24,5 +24,10 @@ val mem : 'k t -> key:'k -> bool
 val scheduled : 'k t -> int
 
 val advance : 'k t -> now:float -> 'k list
-(** All keys whose deadline is <= [now], in deadline order; they are
-    removed from the wheel. *)
+(** All keys whose deadline lies in a tick that has completed by [now],
+    in deadline order; they are removed from the wheel. Delivery is at
+    wheel precision: a key scheduled at [at] fires on the first call
+    with [now >= (floor (at / granularity) + 1) * granularity], i.e. up
+    to one granularity late. Calls that do not cross a tick boundary
+    are O(1) and allocation-free — [advance] is safe to call per
+    packet. *)

@@ -96,6 +96,54 @@ let compile ?(early_offsets = Driver.default_early) ?(probe_interval = 15.) ~hor
     pkt_flags;
   }
 
+(* ----- shard partitioning ----- *)
+
+type partition = {
+  pt_shards : int;
+  flow_shard : int array;
+  sh_times : float array array;
+  sh_flows : Netcore.Five_tuple.t array array;
+  sh_flags : Netcore.Tcp_flags.t array array;
+  sh_pflow : int array array;
+}
+
+(* Counting-sort gather: two linear passes over the packet arrays, one
+   contiguous sub-trace per shard. Within a shard, packets keep the
+   global (time, emission) order — the per-shard streams are exactly the
+   subsequences a per-shard switch would have seen in a scalar run. *)
+let partition t ~shards ~shard_of =
+  if shards < 1 then invalid_arg "Packed_trace.partition: shards must be >= 1";
+  let n_flows = Array.length t.flow_ids in
+  let n_pkts = Array.length t.times in
+  let flow_shard = Array.init n_flows (fun i -> shard_of t.flow_tuples.(i)) in
+  Array.iter
+    (fun k ->
+      if k < 0 || k >= shards then invalid_arg "Packed_trace.partition: shard_of out of range")
+    flow_shard;
+  (* decode flag bytes once: 6 TCP flag bits -> 64 possible sets *)
+  let flags_tab = Array.init 64 Netcore.Tcp_flags.of_byte in
+  let counts = Array.make shards 0 in
+  for p = 0 to n_pkts - 1 do
+    let k = flow_shard.(t.pkt_flow.(p)) in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let sh_times = Array.init shards (fun k -> Array.make counts.(k) 0.) in
+  let sh_flows = Array.init shards (fun k -> Array.make counts.(k) dummy_tuple) in
+  let sh_flags = Array.init shards (fun k -> Array.make counts.(k) Netcore.Tcp_flags.data) in
+  let sh_pflow = Array.init shards (fun k -> Array.make counts.(k) 0) in
+  let fill = Array.make shards 0 in
+  for p = 0 to n_pkts - 1 do
+    let fi = t.pkt_flow.(p) in
+    let k = flow_shard.(fi) in
+    let j = fill.(k) in
+    fill.(k) <- j + 1;
+    sh_times.(k).(j) <- t.times.(p);
+    sh_flows.(k).(j) <- t.flow_tuples.(fi);
+    sh_flags.(k).(j) <- flags_tab.(Char.code (Bytes.get t.pkt_flags p));
+    sh_pflow.(k).(j) <- fi
+  done;
+  { pt_shards = shards; flow_shard; sh_times; sh_flows; sh_flags; sh_pflow }
+
 (* ----- binary codec ----- *)
 
 let magic = "SRPTRC01"

@@ -40,6 +40,26 @@ val compile :
     these flows (same defaults as {!Driver.run}). Flows starting at or
     after the horizon are dropped. *)
 
+type partition = {
+  pt_shards : int;
+  flow_shard : int array;  (** per flow: owning shard *)
+  sh_times : float array array;  (** per shard: packet times, globally ordered *)
+  sh_flows : Netcore.Five_tuple.t array array;
+  sh_flags : Netcore.Tcp_flags.t array array;  (** decoded flag sets *)
+  sh_pflow : int array array;  (** per shard packet: global flow index *)
+}
+(** A trace pre-partitioned into per-shard packed sub-traces: one
+    contiguous (times, flows, flags, flow-index) quadruple per shard,
+    each preserving the global (time, emission) order. Built once at
+    compile/load time so the replay hot loop — including the parallel
+    worker handoff — touches only flat arrays. *)
+
+val partition : t -> shards:int -> shard_of:(Netcore.Five_tuple.t -> int) -> partition
+(** Gather each shard's packets into contiguous arrays (two linear
+    passes; flag bytes decoded through a 64-entry table). [shard_of]
+    must return values in [0, shards); raises [Invalid_argument]
+    otherwise or when [shards < 1]. *)
+
 val save : string -> t -> unit
 (** Write the binary format (little-endian, magic ["SRPTRC01"]). *)
 

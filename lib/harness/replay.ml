@@ -147,61 +147,31 @@ let shard_of ~shards tuple =
   if shards = 1 then 0
   else Netcore.Hashing.to_range (Netcore.Five_tuple.hash ~seed:shard_seed tuple) shards
 
+(* Shard count matched to the machine: one shard per domain the runtime
+   recommends, never fewer than one. On a single-core box this is 1 —
+   sharding still pays (smaller per-table working sets), but extra
+   domains would not. *)
+let auto_shards () = Int.max 1 (Domain.recommended_domain_count ())
+
 module Stepper = struct
   type shared = {
     horizon : float;
     shards : int;
-    flow_shard : int array;
+    part : Packed_trace.partition;
     first : Netcore.Endpoint.t array;
     state : Bytes.t;
-    sh_times : float array array;
-    sh_flows : Netcore.Five_tuple.t array array;
-    sh_flags : Netcore.Tcp_flags.t array array;
-    sh_pflow : int array array;
   }
 
   let make_shared ~(trace : Packed_trace.t) ~shards =
     if shards < 1 then invalid_arg "Replay.Stepper.make_shared: shards must be >= 1";
     let n_flows = Array.length trace.Packed_trace.flow_ids in
-    let n_pkts = Array.length trace.Packed_trace.times in
-    let flow_shard =
-      Array.init n_flows (fun i -> shard_of ~shards trace.Packed_trace.flow_tuples.(i))
-    in
-    (* decode flag bytes once: 6 TCP flag bits -> 64 possible sets *)
-    let flags_tab = Array.init 64 Netcore.Tcp_flags.of_byte in
-    (* gather each shard's packets into contiguous arrays *)
-    let counts = Array.make shards 0 in
-    for p = 0 to n_pkts - 1 do
-      let k = flow_shard.(trace.Packed_trace.pkt_flow.(p)) in
-      counts.(k) <- counts.(k) + 1
-    done;
-    let sh_times = Array.init shards (fun k -> Array.make counts.(k) 0.) in
-    let sh_flows =
-      Array.init shards (fun k -> Array.make counts.(k) Packed_trace.dummy_tuple)
-    in
-    let sh_flags = Array.init shards (fun k -> Array.make counts.(k) Netcore.Tcp_flags.data) in
-    let sh_pflow = Array.init shards (fun k -> Array.make counts.(k) 0) in
-    let fill = Array.make shards 0 in
-    for p = 0 to n_pkts - 1 do
-      let fi = trace.Packed_trace.pkt_flow.(p) in
-      let k = flow_shard.(fi) in
-      let j = fill.(k) in
-      fill.(k) <- j + 1;
-      sh_times.(k).(j) <- trace.Packed_trace.times.(p);
-      sh_flows.(k).(j) <- trace.Packed_trace.flow_tuples.(fi);
-      sh_flags.(k).(j) <- flags_tab.(Char.code (Bytes.get trace.Packed_trace.pkt_flags p));
-      sh_pflow.(k).(j) <- fi
-    done;
+    let part = Packed_trace.partition trace ~shards ~shard_of:(shard_of ~shards) in
     {
       horizon = trace.Packed_trace.horizon;
       shards;
-      flow_shard;
+      part;
       first = Array.make n_flows Silkroad.Switch.no_dip;
       state = Bytes.make n_flows '\000';
-      sh_times;
-      sh_flows;
-      sh_flags;
-      sh_pflow;
     }
 
   let horizon sh = sh.horizon
@@ -226,7 +196,7 @@ module Stepper = struct
       batched;
       counters =
         { sc_packets = 0; sc_dropped = 0; sc_total = 0; sc_broken = 0; sc_violations = 0 };
-      dips = Array.make (Array.length sh.sh_times.(shard)) Silkroad.Switch.no_dip;
+      dips = Array.make (Array.length sh.part.Packed_trace.sh_times.(shard)) Silkroad.Switch.no_dip;
       cursor = 0;
     }
 
@@ -237,10 +207,10 @@ module Stepper = struct
 
   let process_range st lo hi =
     if hi > lo then begin
-      let times = st.sh.sh_times.(st.shard)
-      and flows = st.sh.sh_flows.(st.shard)
-      and flags = st.sh.sh_flags.(st.shard)
-      and pflow = st.sh.sh_pflow.(st.shard) in
+      let times = st.sh.part.Packed_trace.sh_times.(st.shard)
+      and flows = st.sh.part.Packed_trace.sh_flows.(st.shard)
+      and flags = st.sh.part.Packed_trace.sh_flags.(st.shard)
+      and pflow = st.sh.part.Packed_trace.sh_pflow.(st.shard) in
       if st.batched then
         Silkroad.Switch.process_batch st.switch ~times ~flows ~flags ~payload_len ~dips:st.dips
           ~pos:lo ~len:(hi - lo)
@@ -260,7 +230,7 @@ module Stepper = struct
   (* process this shard's packets with time <= [at] (the driver
      schedules every probe before any control event at the same time) *)
   let flush_to st at =
-    let times = st.sh.sh_times.(st.shard) in
+    let times = st.sh.part.Packed_trace.sh_times.(st.shard) in
     let n = Array.length times in
     let j = ref st.cursor in
     while !j < n && times.(!j) <= at do
@@ -270,8 +240,8 @@ module Stepper = struct
     st.cursor <- !j
 
   let exclude st dip =
-    exclude_dip ~no_dip ~first:st.sh.first ~state:st.sh.state ~flow_shard:st.sh.flow_shard
-      ~shard:st.shard dip
+    exclude_dip ~no_dip ~first:st.sh.first ~state:st.sh.state
+      ~flow_shard:st.sh.part.Packed_trace.flow_shard ~shard:st.shard dip
 
   let apply st ~at ctrl =
     flush_to st at;
@@ -301,7 +271,7 @@ module Stepper = struct
       end
 
   let finish st ~now =
-    let n = Array.length st.sh.sh_times.(st.shard) in
+    let n = Array.length st.sh.part.Packed_trace.sh_times.(st.shard) in
     process_range st st.cursor n;
     st.cursor <- n;
     Silkroad.Switch.advance st.switch ~now
@@ -354,13 +324,28 @@ let run ?(mode = Batch) ~make_switch ~(trace : Packed_trace.t) ~controls () =
     Array.iter (fun (at, ctrl) -> Stepper.apply st ~at ctrl) controls;
     Stepper.finish st ~now:horizon
   in
+  (* Worker groups, not one Domain per shard: [workers] is capped at
+     what the machine can actually run ([auto_shards]), each worker owns
+     the stride [w, w+workers, ...] of shards and runs them start to
+     finish, and exactly [workers - 1] Domains are spawned per run.
+     With one available core, workers = 1 and the parallel branch is the
+     literal sequential loop — parallel can never lose to sequential by
+     oversubscription. *)
+  let workers = if parallel && shards > 1 then Int.min shards (auto_shards ()) else 1 in
+  let run_worker w =
+    let k = ref w in
+    while !k < shards do
+      run_shard !k;
+      k := !k + workers
+    done
+  in
   let (), elapsed =
     Stopwatch.time (fun () ->
-        if parallel && shards > 1 then begin
+        if workers > 1 then begin
           let doms =
-            Array.init (shards - 1) (fun j -> Domain.spawn (fun () -> run_shard (j + 1)))
+            Array.init (workers - 1) (fun j -> Domain.spawn (fun () -> run_worker (j + 1)))
           in
-          run_shard 0;
+          run_worker 0;
           Array.iter Domain.join doms
         end
         else

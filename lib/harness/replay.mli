@@ -35,8 +35,19 @@ type mode =
   | Batch
   | Sharded of {
       shards : int;
-      parallel : bool;  (** spawn one Domain per extra shard *)
+      parallel : bool;
+          (** run the shards on a worker group of
+              [min shards (auto_shards ())] Domains (one spawn per extra
+              worker per run, shards strided across workers). With one
+              available core the group degenerates to the sequential
+              loop, so parallel never loses to sequential by
+              oversubscription; counters are byte-identical to the
+              sequential sharded run either way. *)
     }
+
+val auto_shards : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())] — the shard/worker
+    count matched to this machine. *)
 
 val controls_of_chaos : horizon:float -> Chaos.Engine.event list -> (float * control) list
 (** The control stream {!Driver.run} would derive from a compiled chaos

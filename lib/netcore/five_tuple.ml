@@ -30,7 +30,9 @@ let read b pos =
   in
   ({ src; dst; proto }, pos + 1)
 
-let hash ~seed { src; dst; proto } =
+(* [@inline] so callers outside the Cuckoo functor (whose [Key.hash]
+   parameter can never be inlined) get the whole Int64 chain unboxed. *)
+let[@inline] hash ~seed { src; dst; proto } =
   let acc = Endpoint.hash_fold 0x5117_0a4dL src in
   let acc = Endpoint.hash_fold acc dst in
   let acc = Hashing.mix64 (Int64.logxor acc (Int64.of_int (Protocol.to_byte proto))) in

@@ -31,13 +31,13 @@ let fold_bytes acc b =
   in
   go acc 0
 
-let to_range h n =
+let[@inline] to_range h n =
   assert (n > 0);
   (* Keep 62 bits so the value fits OCaml's native positive int range. *)
   let v = Int64.to_int (Int64.logand h 0x3FFF_FFFF_FFFF_FFFFL) in
   v mod n
 
-let truncate_bits h k =
+let[@inline] truncate_bits h k =
   assert (k > 0 && k <= 30);
   Int64.to_int (Int64.logand h (Int64.of_int ((1 lsl k) - 1)))
 

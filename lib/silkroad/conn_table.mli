@@ -18,11 +18,22 @@ type lookup_result = {
   exact : bool;  (** false when the hit is a digest false positive *)
 }
 
-val create : ?metrics:Telemetry.Registry.t -> Config.t -> t
+type layout =
+  [ `Flat  (** the flat SoA {!Asic.Cuckoo} layout (production default) *)
+  | `Boxed  (** the per-slot boxed {!Asic.Cuckoo_boxed} reference layout *)
+  ]
+(** Both layouts are pinned placement-identical by the differential
+    suite; [`Boxed] exists so tests can run the same traffic through
+    both and compare counters byte-for-byte. *)
+
+val create : ?metrics:Telemetry.Registry.t -> ?layout:layout -> Config.t -> t
 (** [?metrics] is the registry the table reports through:
     [conn_table.false_hits] / [conn_table.repairs] counters and
     [conn_table.size] / [conn_table.occupancy] gauges. The dedicated
-    accessors below read the same counters. *)
+    accessors below read the same counters. [?layout] defaults to
+    [`Flat]. *)
+
+val layout : t -> layout
 
 val capacity : t -> int
 val size : t -> int
@@ -63,6 +74,17 @@ val false_hits : t -> int
 val repairs : t -> int
 val moves : t -> int
 val failed_inserts : t -> int
+
+val greedy_kicks : t -> int
+(** Inserts resolved by the cuckoo greedy depth-1 kick pass (always 0 on
+    the boxed layout, whose insert path is the plain BFS). *)
+
+val bfs_expansions : t -> int
+(** Cumulative cuckoo BFS node expansions across all inserts. *)
+
+val first_full_occupancy : t -> float option
+(** Occupancy at the first insert that failed with [`Full]; [None] while
+    no insert has failed (§7's overflow diagnostic). *)
 
 val entry_bits : t -> int
 (** Bits per entry: digest + version + packing overhead (28 for the

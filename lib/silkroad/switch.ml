@@ -43,6 +43,10 @@ type cpu_work =
   | Repair_batch of Netcore.Five_tuple.t list
       (** collision repairs already applied to the table; completion
           accounts the CPU time so the backlog is observable *)
+  | Overflow_retry_batch of (Netcore.Five_tuple.t * int) list
+      (** deferred inserts from the overflow queue, with their attempt
+          count; each retry re-runs the cuckoo search at a higher CPU
+          cost than a first-time insert *)
 
 type stats = {
   asic_packets : int;
@@ -53,6 +57,8 @@ type stats = {
   collision_repairs : int;
   learning_drops : int;
   table_full_drops : int;
+  insert_overflows : int;
+  overflow_retries : int;
   updates_completed : int;
   updates_failed : int;
   transit_clears : int;
@@ -69,6 +75,13 @@ type t = {
   cpu : Asic.Switch_cpu.t;
   (* completion times are monotone (FIFO CPU), so a plain queue works *)
   cpu_done : (float * cpu_work) Queue.t;
+  (* insert-overflow queue (§7): connections whose insert found the
+     table full wait here and are retried in batches on the switch CPU
+     instead of being dropped from state on first failure. At most one
+     retry batch is in flight at a time so overflow work never starves
+     the learning pipeline. *)
+  overflow : (Netcore.Five_tuple.t * int) Queue.t;
+  mutable overflow_inflight : bool;
   flows : (Netcore.Five_tuple.t, conn_state) Hashtbl.t;
   (* lazy idle-timeout timers: one wheel entry per tracked connection,
      verified against last_seen on expiry *)
@@ -101,6 +114,8 @@ type t = {
   c_connections_seen : Telemetry.Registry.Counter.t;
   c_learning_drops : Telemetry.Registry.Counter.t;
   c_table_full_drops : Telemetry.Registry.Counter.t;
+  c_insert_overflows : Telemetry.Registry.Counter.t;
+  c_overflow_retries : Telemetry.Registry.Counter.t;
   c_updates_completed : Telemetry.Registry.Counter.t;
   c_updates_failed : Telemetry.Registry.Counter.t;
   c_transit_clears : Telemetry.Registry.Counter.t;
@@ -111,6 +126,9 @@ type t = {
   c_lb_packets : Telemetry.Registry.Counter.t;
   c_lb_dropped : Telemetry.Registry.Counter.t;
   g_tracked_flows : Telemetry.Registry.Gauge.t;
+  (* last tracked-flow count pushed to the gauge: [advance] runs per
+     packet, so the gauge is only touched when the count changes *)
+  mutable last_tracked : int;
 }
 
 let src = Logs.Src.create "silkroad.switch" ~doc:"SilkRoad switch control plane"
@@ -123,7 +141,18 @@ module Log = (val Logs.src_log src : Logs.LOG)
    — always 0 in a healthy configuration. *)
 let barrier_deadline = 5.
 
-let create ?metrics ?(check = `Warn) cfg =
+(* Insert-overflow queue tuning: a deferred insert is retried at most
+   [max_overflow_retries] times, in batches of [overflow_batch], each
+   retried insert costing [overflow_retry_cost] CPU work items (the
+   switch CPU re-runs the whole cuckoo search against a saturated
+   table). The queue is bounded; beyond [overflow_cap] the connection is
+   dropped from state immediately, as on real hardware. *)
+let max_overflow_retries = 2
+let overflow_batch = 64
+let overflow_retry_cost = 4
+let overflow_cap = 65536
+
+let create ?metrics ?(check = `Warn) ?conn_layout cfg =
   (match Config.validate cfg with
    | Ok () -> ()
    | Error msg -> invalid_arg ("Switch.create: " ^ msg));
@@ -144,7 +173,7 @@ let create ?metrics ?(check = `Warn) cfg =
   let counter = Telemetry.Registry.counter reg in
   {
     cfg;
-    conns = Conn_table.create ~metrics:reg cfg;
+    conns = Conn_table.create ~metrics:reg ?layout:conn_layout cfg;
     pools = Dip_pool_table.create ~version_bits:cfg.Config.version_bits ~seed:cfg.Config.seed;
     vips = Vip_table.create ();
     transit =
@@ -157,6 +186,8 @@ let create ?metrics ?(check = `Warn) cfg =
       Asic.Switch_cpu.create ~metrics:reg
         ~insertions_per_sec:cfg.Config.cpu_insertions_per_sec ();
     cpu_done = Queue.create ();
+    overflow = Queue.create ();
+    overflow_inflight = false;
     flows = Hashtbl.create 4096;
     aging =
       Asic.Timer_wheel.create ~granularity:(cfg.Config.idle_timeout /. 4.) ~slots:16 ();
@@ -175,6 +206,8 @@ let create ?metrics ?(check = `Warn) cfg =
     c_connections_seen = counter "switch.connections_seen";
     c_learning_drops = counter "switch.learning_drops";
     c_table_full_drops = counter "switch.table_full_drops";
+    c_insert_overflows = counter "switch.insert_overflows";
+    c_overflow_retries = counter "switch.overflow_retries";
     c_updates_completed = counter "switch.updates_completed";
     c_updates_failed = counter "switch.updates_failed";
     c_transit_clears = counter "switch.transit_clears";
@@ -184,6 +217,7 @@ let create ?metrics ?(check = `Warn) cfg =
     c_lb_packets = counter "lb.packets";
     c_lb_dropped = counter "lb.dropped_packets";
     g_tracked_flows = Telemetry.Registry.gauge reg "switch.tracked_flows";
+    last_tracked = -1;
   }
 
 let config t = t.cfg
@@ -347,54 +381,115 @@ let destroy_state t flow (st : conn_state) =
 
 let complete_cpu_work t ~now =
   let rec go () =
-    match Queue.peek_opt t.cpu_done with
-    | Some (at, work) when at <= now ->
-      ignore (Queue.pop t.cpu_done);
-      (match work with
-       | Insert_batch flows ->
-         List.iter
-           (fun flow ->
-             match Hashtbl.find_opt t.flows flow with
-             | None -> ()  (* state already destroyed *)
-             | Some st ->
-               st.in_pipeline <- false;
-               if st.ended then begin
-                 (* flow finished before its entry was installed *)
-                 barrier_resolved t ~now ~vip:st.cs_vip flow;
-                 destroy_state t flow st
-               end
-               else if not st.inserted then begin
-                 (match Conn_table.insert t.conns flow ~version:st.cs_version with
-                  | Ok _ -> st.inserted <- true
-                  | Error `Duplicate -> st.inserted <- true
-                  | Error `Full ->
-                    Telemetry.Registry.Counter.incr t.c_table_full_drops;
-                    Log.warn (fun m ->
-                        m "ConnTable full (%.1f%%): connection left stateless"
-                          (100. *. Conn_table.occupancy t.conns));
-                    (* stays a pending connection; must not gate updates *)
-                    st.inserted <- false);
-                 barrier_resolved t ~now ~vip:st.cs_vip flow
-               end)
-           flows
-       | Delete_batch flows ->
-         List.iter
-           (fun flow ->
-             ignore (Conn_table.remove t.conns flow);
-             match Hashtbl.find_opt t.flows flow with
-             | Some st -> destroy_state t flow st
-             | None -> ())
-           flows
-       | Repair_batch flows ->
-         (* repairs were applied synchronously at submission; completion
-            only accounts the CPU time *)
-         List.iter
-           (fun _ -> Telemetry.Registry.Counter.incr t.c_repairs_completed)
-           flows);
-      go ()
-    | Some _ | None -> ()
+    (* option-free peek: this runs on every packet via [advance] *)
+    if not (Queue.is_empty t.cpu_done) then begin
+      let at, _ = Queue.peek t.cpu_done in
+      if at <= now then begin
+        let _, work = Queue.pop t.cpu_done in
+        (match work with
+         | Insert_batch flows ->
+           List.iter
+             (fun flow ->
+               match Hashtbl.find_opt t.flows flow with
+               | None -> ()  (* state already destroyed *)
+               | Some st ->
+                 st.in_pipeline <- false;
+                 if st.ended then begin
+                   (* flow finished before its entry was installed *)
+                   barrier_resolved t ~now ~vip:st.cs_vip flow;
+                   destroy_state t flow st
+                 end
+                 else if not st.inserted then begin
+                   (match Conn_table.insert t.conns flow ~version:st.cs_version with
+                    | Ok _ -> st.inserted <- true
+                    | Error `Duplicate -> st.inserted <- true
+                    | Error `Full ->
+                      (* defer to the overflow queue: the switch CPU
+                         retries the insert later at its real cost
+                         instead of abandoning state on first failure *)
+                      if Queue.length t.overflow < overflow_cap then begin
+                        Telemetry.Registry.Counter.incr t.c_insert_overflows;
+                        Queue.add (flow, 1) t.overflow;
+                        st.in_pipeline <- true
+                      end
+                      else begin
+                        Telemetry.Registry.Counter.incr t.c_table_full_drops;
+                        Log.warn (fun m ->
+                            m "ConnTable full (%.1f%%), overflow queue full: connection left \
+                               stateless"
+                              (100. *. Conn_table.occupancy t.conns))
+                      end;
+                      (* stays a pending connection; must not gate updates *)
+                      st.inserted <- false);
+                   barrier_resolved t ~now ~vip:st.cs_vip flow
+                 end)
+             flows
+         | Delete_batch flows ->
+           List.iter
+             (fun flow ->
+               ignore (Conn_table.remove t.conns flow);
+               match Hashtbl.find_opt t.flows flow with
+               | Some st -> destroy_state t flow st
+               | None -> ())
+             flows
+         | Repair_batch flows ->
+           (* repairs were applied synchronously at submission; completion
+              only accounts the CPU time *)
+           List.iter (fun _ -> Telemetry.Registry.Counter.incr t.c_repairs_completed) flows
+         | Overflow_retry_batch items ->
+           t.overflow_inflight <- false;
+           List.iter
+             (fun (flow, attempts) ->
+               Telemetry.Registry.Counter.incr t.c_overflow_retries;
+               match Hashtbl.find_opt t.flows flow with
+               | None -> ()  (* state destroyed while queued *)
+               | Some st ->
+                 if st.ended then begin
+                   st.in_pipeline <- false;
+                   barrier_resolved t ~now ~vip:st.cs_vip flow;
+                   destroy_state t flow st
+                 end
+                 else if st.inserted then st.in_pipeline <- false
+                 else (
+                   match Conn_table.insert t.conns flow ~version:st.cs_version with
+                   | Ok _ | Error `Duplicate ->
+                     st.inserted <- true;
+                     st.in_pipeline <- false;
+                     barrier_resolved t ~now ~vip:st.cs_vip flow
+                   | Error `Full ->
+                     if attempts < max_overflow_retries && Queue.length t.overflow < overflow_cap
+                     then Queue.add (flow, attempts + 1) t.overflow
+                     else begin
+                       (* give up: the connection stays stateless, the
+                          paper's §7 overflow outcome *)
+                       st.in_pipeline <- false;
+                       Telemetry.Registry.Counter.incr t.c_table_full_drops;
+                       barrier_resolved t ~now ~vip:st.cs_vip flow;
+                       Log.warn (fun m ->
+                           m "ConnTable full (%.1f%%) after %d insert attempts: connection left \
+                              stateless"
+                             (100. *. Conn_table.occupancy t.conns)
+                             (attempts + 1))
+                     end))
+             items);
+        go ()
+      end
+    end
   in
   go ()
+
+(* launch the next overflow retry batch once the previous one finished;
+   one batch in flight at a time keeps deferred inserts from starving
+   the learning pipeline on the shared CPU FIFO *)
+let schedule_overflow_retries t ~now =
+  if (not t.overflow_inflight) && not (Queue.is_empty t.overflow) then begin
+    let n = Int.min overflow_batch (Queue.length t.overflow) in
+    let rec take n acc = if n = 0 then List.rev acc else take (n - 1) (Queue.pop t.overflow :: acc) in
+    let items = take n [] in
+    let done_at = Asic.Switch_cpu.submit t.cpu ~now ~work_items:(overflow_retry_cost * n) in
+    Queue.add (done_at, Overflow_retry_batch items) t.cpu_done;
+    t.overflow_inflight <- true
+  end
 
 let drain_learning t ~at =
   let batch = Asic.Learning_filter.drain t.learning in
@@ -451,19 +546,27 @@ let release_stuck_barriers t ~now =
 let advance t ~now =
   if now >= t.clock then begin
     t.clock <- now;
-    (* due learning batches first: their completions may already be due *)
+    (* due learning batches first: their completions may already be due.
+       The option-free deadline probe keeps this per-packet loop off the
+       GC ([infinity <= now] is never true). *)
     let rec drain_due () =
-      match Asic.Learning_filter.next_deadline t.learning with
-      | Some deadline when deadline <= now ->
+      let deadline = Asic.Learning_filter.next_deadline_or t.learning ~default:infinity in
+      if deadline <= now then begin
         drain_learning t ~at:deadline;
         drain_due ()
-      | Some _ | None -> ()
+      end
     in
     drain_due ();
     complete_cpu_work t ~now;
+    schedule_overflow_retries t ~now;
     expire_idle t ~now;
-    release_stuck_barriers t ~now;
-    Telemetry.Registry.Gauge.set t.g_tracked_flows (float_of_int (Hashtbl.length t.flows))
+    if Hashtbl.length t.jobs > 0 then release_stuck_barriers t ~now;
+    (* the gauge write boxes a float: only touch it when the count moved *)
+    let tracked = Hashtbl.length t.flows in
+    if tracked <> t.last_tracked then begin
+      t.last_tracked <- tracked;
+      Telemetry.Registry.Gauge.set t.g_tracked_flows (float_of_int tracked)
+    end
   end
 
 (* ----- data plane ----- *)
@@ -533,8 +636,10 @@ let handle_miss t ~now ~ends flow ~vip ~vh ~syn =
   let location =
     if how = how_cpu_checked then Lb.Balancer.Switch_cpu else Lb.Balancer.Asic
   in
-  match Hashtbl.find_opt t.flows flow with
-  | Some st ->
+  (* find + exception: pending flows take this path on every packet, and
+     find_opt's [Some] box was visible in the replay allocation counters *)
+  match Hashtbl.find t.flows flow with
+  | st ->
     (* a pending connection's later packet *)
     st.last_seen <- now;
     if ends then st.ended <- true;
@@ -549,7 +654,7 @@ let handle_miss t ~now ~ends flow ~vip ~vh ~syn =
        hazard *)
     let version = if how = how_cpu_checked then st.cs_version else version in
     forward t ~vip ~version flow ~location
-  | None ->
+  | exception Not_found ->
     if ends then
       (* first-and-last packet: nothing worth learning *)
       forward t ~vip ~version flow ~location
@@ -799,6 +904,8 @@ let stats t =
     collision_repairs = Conn_table.repairs t.conns;
     learning_drops = v t.c_learning_drops;
     table_full_drops = v t.c_table_full_drops;
+    insert_overflows = v t.c_insert_overflows;
+    overflow_retries = v t.c_overflow_retries;
     updates_completed = v t.c_updates_completed;
     updates_failed = v t.c_updates_failed;
     transit_clears = v t.c_transit_clears;

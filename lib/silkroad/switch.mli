@@ -32,7 +32,12 @@
 
 type t
 
-val create : ?metrics:Telemetry.Registry.t -> ?check:[ `Fail | `Warn | `Off ] -> Config.t -> t
+val create :
+  ?metrics:Telemetry.Registry.t ->
+  ?check:[ `Fail | `Warn | `Off ] ->
+  ?conn_layout:Conn_table.layout ->
+  Config.t ->
+  t
 (** [?metrics] is the registry the switch and all its ASIC primitives
     (ConnTable, TransitTable, learning filter, switch CPU) report
     through; a private one is created when absent. See {!metrics}.
@@ -41,7 +46,11 @@ val create : ?metrics:Telemetry.Registry.t -> ?check:[ `Fail | `Warn | `Off ] ->
     configuration: [`Fail] raises [Invalid_argument] when the implied
     tables cannot be placed on the chip's stages, [`Warn] logs the first
     infeasible resource class and proceeds (the software model can still
-    simulate what hardware could not hold), [`Off] skips the check. *)
+    simulate what hardware could not hold), [`Off] skips the check.
+
+    [?conn_layout] (default [`Flat]) selects the ConnTable memory
+    layout; the differential suite runs the same traffic through both
+    layouts and pins their counters byte-identical. *)
 
 val config : t -> Config.t
 
@@ -183,7 +192,13 @@ type stats = {
   false_hits : int;  (** digest false positives observed by lookups *)
   collision_repairs : int;
   learning_drops : int;  (** learning-filter overflows *)
-  table_full_drops : int;  (** insertions refused: ConnTable full *)
+  table_full_drops : int;
+      (** connections left stateless: ConnTable still full after the
+          overflow queue exhausted its retries (or the queue was full) *)
+  insert_overflows : int;
+      (** inserts that found the table full and were deferred to the
+          switch-CPU overflow queue for retry *)
+  overflow_retries : int;  (** deferred insert attempts performed *)
   updates_completed : int;
   updates_failed : int;  (** aborted (e.g. version exhaustion) *)
   transit_clears : int;

@@ -307,6 +307,121 @@ let cuckoo_placement_filter_respected () =
   done;
   check Alcotest.bool "stage 1 usable again" true !landed_in_1
 
+(* ---------- Cuckoo: flat vs boxed differential ---------- *)
+
+module ICB = Asic.Cuckoo_boxed.Make (Int_key)
+
+(* An insert that exhausts the BFS budget must fail cleanly: report
+   table-full after exactly [max_bfs_nodes] expansions, record the
+   occupancy at first failure, and leave the table untouched. *)
+let cuckoo_bfs_boundary () =
+  let max_bfs_nodes = 64 in
+  let t = IC.create ~stages:2 ~rows_per_stage:512 ~ways:4 ~max_bfs_nodes () in
+  let kept = ref [] in
+  let first_fail = ref None in
+  (try
+     for i = 0 to IC.capacity t - 1 do
+       match IC.insert t i i with
+       | Ok _ -> kept := i :: !kept
+       | Error `Full ->
+         first_fail := Some i;
+         raise Exit
+       | Error `Duplicate -> Alcotest.fail "duplicate"
+     done
+   with Exit -> ());
+  (match !first_fail with
+   | None -> Alcotest.fail "table never filled"
+   | Some _ -> ());
+  let size_at_fail = IC.size t in
+  check Alcotest.int "failed insert ran the BFS to its budget" max_bfs_nodes
+    (IC.last_bfs_expanded t);
+  check Alcotest.int "one failed insert" 1 (IC.failed_inserts t);
+  (match IC.first_full_occupancy t with
+   | None -> Alcotest.fail "first_full_occupancy not recorded"
+   | Some occ ->
+     check Alcotest.bool
+       (Printf.sprintf "occupancy at first failure %.3f >= 0.8" occ)
+       true (occ >= 0.8);
+     check (Alcotest.float 1e-9) "occupancy recorded at the failure point" (IC.occupancy t) occ);
+  check Alcotest.int "failed insert did not change size" size_at_fail (IC.size t);
+  List.iter
+    (fun k ->
+      match IC.find_exact t k with
+      | Some v -> check Alcotest.int "kept value" k v
+      | None -> Alcotest.fail (Printf.sprintf "failed insert lost resident key %d" k))
+    !kept
+
+(* Same op sequence through the SoA table and the boxed reference: the
+   greedy-kick scan order is the boxed BFS's pop order, so placements,
+   move counts, sizes and stage assignments must be identical — the
+   cross-layout contract Conn_table's differential suite builds on. *)
+let layout_differential ?placement_filter ops =
+  let tf = IC.create ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  let tb = ICB.create ~stages:3 ~rows_per_stage:64 ~ways:2 () in
+  (match placement_filter with
+   | None -> ()
+   | Some f ->
+     IC.set_placement_filter tf (Some f);
+     ICB.set_placement_filter tb (Some f));
+  let ok = ref true in
+  List.iter
+    (fun (k, ins) ->
+      if ins then begin
+        let rf = IC.insert tf k k and rb = ICB.insert tb k k in
+        if rf <> rb then begin
+          Printf.printf "insert %d: flat %s, boxed %s\n%!" k
+            (match rf with
+             | Ok m -> Printf.sprintf "Ok %d" m
+             | Error `Full -> "Full"
+             | Error `Duplicate -> "Dup")
+            (match rb with
+             | Ok m -> Printf.sprintf "Ok %d" m
+             | Error `Full -> "Full"
+             | Error `Duplicate -> "Dup");
+          ok := false
+        end
+      end
+      else if IC.remove tf k <> ICB.remove tb k then ok := false;
+      if IC.size tf <> ICB.size tb then ok := false;
+      if IC.stage_of_exact tf k <> ICB.stage_of_exact tb k then ok := false;
+      if IC.find_exact tf k <> ICB.find_exact tb k then ok := false)
+    ops;
+  !ok && IC.moves tf = ICB.moves tb && IC.failed_inserts tf = ICB.failed_inserts tb
+
+let qcheck_flat_boxed_differential =
+  QCheck.Test.make ~name:"flat and boxed layouts place identically" ~count:60
+    QCheck.(list_of_size (Gen.int_range 50 500) (pair (int_bound 600) bool))
+    (fun ops -> layout_differential ops)
+
+let qcheck_flat_boxed_differential_filtered =
+  QCheck.Test.make ~name:"flat and boxed layouts place identically under a placement filter"
+    ~count:40
+    QCheck.(list_of_size (Gen.int_range 50 400) (pair (int_bound 600) bool))
+    (fun ops ->
+      (* the filter ConnTable actually installs: veto some (stage, row)
+         cells as a pure predicate of the key *)
+      layout_differential ~placement_filter:(fun k ~stage ~row -> (k + stage + row) mod 7 <> 0)
+        ops)
+
+(* The greedy depth-1 kick pass must actually fire on the flat layout
+   (it is the amortisation this PR exists for) and stay at zero on the
+   boxed reference, without changing outcomes. *)
+let cuckoo_greedy_kicks_counter () =
+  let t = IC.create ~stages:2 ~rows_per_stage:64 ~ways:4 () in
+  let tb = ICB.create ~stages:2 ~rows_per_stage:64 ~ways:4 () in
+  (try
+     for i = 0 to IC.capacity t - 1 do
+       let rf = IC.insert t i i and rb = ICB.insert tb i i in
+       if rf <> rb then Alcotest.fail "layouts diverged";
+       match rf with Error `Full -> raise Exit | Ok _ | Error `Duplicate -> ()
+     done
+   with Exit -> ());
+  check Alcotest.bool
+    (Printf.sprintf "flat greedy kicks %d > 0" (IC.greedy_kicks t))
+    true (IC.greedy_kicks t > 0);
+  check Alcotest.int "boxed never greedy-kicks" 0 (ICB.greedy_kicks tb);
+  check Alcotest.int "kicks count into moves" (ICB.moves tb) (IC.moves t)
+
 (* ---------- Learning_filter ---------- *)
 
 let learning_dedup () =
@@ -434,7 +549,10 @@ let wheel_fires_on_time () =
   Asic.Timer_wheel.schedule w ~key:"a" ~at:3.;
   Asic.Timer_wheel.schedule w ~key:"b" ~at:5.;
   check (Alcotest.list Alcotest.string) "nothing early" [] (Asic.Timer_wheel.advance w ~now:2.);
-  check (Alcotest.list Alcotest.string) "a fires" [ "a" ] (Asic.Timer_wheel.advance w ~now:3.5);
+  (* delivery is at tick precision: a@3 fires once its tick completes *)
+  check (Alcotest.list Alcotest.string) "tick not complete" []
+    (Asic.Timer_wheel.advance w ~now:3.5);
+  check (Alcotest.list Alcotest.string) "a fires" [ "a" ] (Asic.Timer_wheel.advance w ~now:4.);
   check Alcotest.bool "a gone" false (Asic.Timer_wheel.mem w ~key:"a");
   check (Alcotest.list Alcotest.string) "b fires" [ "b" ] (Asic.Timer_wheel.advance w ~now:10.)
 
@@ -445,7 +563,7 @@ let wheel_reschedule_replaces () =
   check Alcotest.int "one entry" 1 (Asic.Timer_wheel.scheduled w);
   check (Alcotest.list Alcotest.string) "old deadline dead" [] (Asic.Timer_wheel.advance w ~now:3.);
   check (Alcotest.list Alcotest.string) "new deadline fires" [ "a" ]
-    (Asic.Timer_wheel.advance w ~now:6.)
+    (Asic.Timer_wheel.advance w ~now:7.)
 
 let wheel_cancel () =
   let w = Asic.Timer_wheel.create ~granularity:1. ~slots:4 () in
@@ -459,7 +577,7 @@ let wheel_beyond_revolution () =
   Asic.Timer_wheel.schedule w ~key:"far" ~at:11.;
   check (Alcotest.list Alcotest.string) "pass 1" [] (Asic.Timer_wheel.advance w ~now:5.);
   check (Alcotest.list Alcotest.string) "pass 2" [] (Asic.Timer_wheel.advance w ~now:9.);
-  check (Alcotest.list Alcotest.string) "finally" [ "far" ] (Asic.Timer_wheel.advance w ~now:11.)
+  check (Alcotest.list Alcotest.string) "finally" [ "far" ] (Asic.Timer_wheel.advance w ~now:12.)
 
 let qcheck_wheel_delivers_all =
   QCheck.Test.make ~name:"wheel delivers everything exactly once, in order" ~count:100
@@ -538,8 +656,12 @@ let suites =
         tc "digest mode" `Quick cuckoo_digest_mode;
         tc "probe positions" `Quick cuckoo_probe_positions;
         tc "placement filter" `Quick cuckoo_placement_filter_respected;
+        tc "bfs budget boundary" `Quick cuckoo_bfs_boundary;
+        tc "greedy kick counter" `Quick cuckoo_greedy_kicks_counter;
         QCheck_alcotest.to_alcotest qcheck_cuckoo_model;
         QCheck_alcotest.to_alcotest qcheck_cuckoo_moves_preserve;
+        QCheck_alcotest.to_alcotest qcheck_flat_boxed_differential;
+        QCheck_alcotest.to_alcotest qcheck_flat_boxed_differential_filtered;
       ] );
     ( "asic.learning_filter",
       [
