@@ -63,4 +63,5 @@ fmt-check:
 clean:
 	dune clean
 	rm -f BENCH_telemetry.json CHAOS_soak.*.json chaos_report*.json
-	rm -f BENCH_control.json.tmp BENCH_replay.json.tmp *.sock *.srptrc
+	rm -f BENCH_control.json.tmp BENCH_replay.json.tmp BENCH_netwide.json.tmp
+	rm -f netwide_metrics.json *.sock *.srptrc

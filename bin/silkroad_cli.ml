@@ -474,6 +474,133 @@ let trace_replay_cmd =
         (const run $ flows_path $ updates_path $ fast $ shards $ parallel $ metrics_json_flag
         $ verbose_flag))
 
+(* ---- netwide ---- *)
+
+let netwide_cmd =
+  let tors = Arg.(value & opt int 2 & info [ "tors" ] ~docv:"N" ~doc:"ToR switches.") in
+  let aggs =
+    Arg.(value & opt int 0 & info [ "aggs" ] ~docv:"N" ~doc:"Aggregation (transit) switches.")
+  in
+  let flows_n =
+    Arg.(value & opt int 2000 & info [ "flows" ] ~docv:"N" ~doc:"Connections in the trace.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let fail_at =
+    Arg.(
+      value & opt float 30.
+      & info [ "fail-at" ] ~docv:"T"
+          ~doc:"Fail the first ToR at $(docv) virtual seconds (negative disables).")
+  in
+  let downtime =
+    Arg.(value & opt float 60. & info [ "downtime" ] ~docv:"S" ~doc:"Seconds until recovery.")
+  in
+  let update_at =
+    Arg.(
+      value & opt float 30.4
+      & info [ "update-at" ] ~docv:"T"
+          ~doc:
+            "Remove a DIP from the first VIP's pool at $(docv), concurrent with the re-route \
+             (negative disables).")
+  in
+  let stall_at =
+    Arg.(
+      value & opt float 29.
+      & info [ "stall-at" ] ~docv:"T"
+          ~doc:"Inject a 1M-item switch-CPU backlog at $(docv) (negative disables).")
+  in
+  let parallel =
+    Arg.(value & flag & info [ "parallel" ] ~doc:"Drive the switches on a Domain worker group.")
+  in
+  let run tors aggs flows_n seed fail_at downtime update_at stall_at parallel metrics_json
+      verbose =
+    setup_logs verbose;
+    if tors < 1 then `Error (false, "--tors must be >= 1")
+    else begin
+      let vips = Experiments.Common.vips_of ~n_vips:4 ~dips_per_vip:8 in
+      let layer name switches sram_budget_bits =
+        { Silkroad.Assignment.layer_name = name; switches; sram_budget_bits;
+          capacity_gbps = 10_000. }
+      in
+      let sram = 50 * 8 * 1024 * 1024 in
+      let layers =
+        (layer "core" 1 0 :: (if aggs > 0 then [ layer "agg" aggs 0 ] else []))
+        @ [ layer "tor" tors sram ]
+      in
+      let topo = Netwide.Topology.build ~layers ~vips () in
+      let rng = Random.State.make [| seed; 0x5eed |] in
+      let vip_arr = Array.of_list vips in
+      let flows =
+        List.init flows_n (fun id ->
+            let vip, _ = vip_arr.(Random.State.int rng (Array.length vip_arr)) in
+            let src =
+              Netcore.Endpoint.v4
+                (1 + Random.State.int rng 200)
+                (Random.State.int rng 250) (Random.State.int rng 250)
+                (1 + Random.State.int rng 250)
+                (1024 + Random.State.int rng 50000)
+            in
+            {
+              Simnet.Flow.id;
+              tuple = Netcore.Five_tuple.make ~src ~dst:vip ~proto:Netcore.Protocol.Tcp;
+              start = Random.State.float rng 25.;
+              duration = 0.5 +. Random.State.float rng 60.;
+              bytes_per_sec = 1000.;
+            })
+      in
+      let trace = Harness.Packed_trace.compile ~probe_interval:1. ~horizon:120. flows in
+      let controls =
+        (if stall_at >= 0. then [ (stall_at, Harness.Replay.Cpu_backlog 1_000_000) ] else [])
+        @
+        if update_at >= 0. then begin
+          let vip0, pool0 = List.hd vips in
+          Harness.Replay.controls_of_updates ~horizon:120.
+            [ (update_at, vip0, Lb.Balancer.Dip_remove (Lb.Dip_pool.members pool0).(0)) ]
+        end
+        else []
+      in
+      let first_tor = topo.Netwide.Topology.layer_nodes.(List.length layers - 1).(0) in
+      let events =
+        if fail_at >= 0. && tors > 1 then
+          [ (fail_at, Netwide.Replay.Switch_down first_tor.Netwide.Topology.node_id);
+            (fail_at +. downtime, Netwide.Replay.Switch_up first_tor.Netwide.Topology.node_id) ]
+        else []
+      in
+      Format.fprintf ppf "%a@." Netwide.Topology.pp topo;
+      let r = Netwide.Replay.run ~parallel ~topo ~trace ~controls ~events () in
+      Format.fprintf ppf
+        "netwide: conns=%d broken=%d packets=%d dropped=%d violations=%d moved=%d  %.2e pkt/s@."
+        r.Netwide.Replay.connections r.Netwide.Replay.broken r.Netwide.Replay.packets
+        r.Netwide.Replay.dropped r.Netwide.Replay.violations r.Netwide.Replay.moved_flows
+        (float_of_int r.Netwide.Replay.packets /. r.Netwide.Replay.elapsed);
+      (match metrics_json with
+       | None -> ()
+       | Some path ->
+         write_metrics_json path
+           [ ("netwide", Telemetry.Registry.snapshot r.Netwide.Replay.telemetry) ];
+         Format.fprintf ppf "wrote telemetry snapshot to %s@." path);
+      if r.Netwide.Replay.violations > 0 then begin
+        Format.fprintf ppf "network-wide PCC VIOLATED (%d packets)@." r.Netwide.Replay.violations;
+        `Error (false, "network-wide PCC violated")
+      end
+      else begin
+        Format.fprintf ppf "network-wide PCC held across %d re-homed flow(s)@."
+          r.Netwide.Replay.moved_flows;
+        `Ok ()
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "netwide"
+       ~doc:
+         "Replay a synthetic workload through a multi-switch topology (Core/Agg transit over \
+          SilkRoad ToRs) with a ToR failure, a concurrent DIP pool update and a recovery, \
+          judged by the end-to-end network-wide PCC oracle. Exits non-zero when any \
+          connection's consistency is violated.")
+    Term.(
+      ret
+        (const run $ tors $ aggs $ flows_n $ seed $ fail_at $ downtime $ update_at $ stall_at
+        $ parallel $ metrics_json_flag $ verbose_flag))
+
 (* ---- serve ---- *)
 
 let serve_cmd =
@@ -740,4 +867,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; experiment_cmd; experiments_cmd; demo_cmd; chaos_cmd; memory_cmd; p4_cmd;
-            trace_generate_cmd; trace_replay_cmd; serve_cmd; lint_cmd; verify_cmd ]))
+            trace_generate_cmd; trace_replay_cmd; netwide_cmd; serve_cmd; lint_cmd;
+            verify_cmd ]))

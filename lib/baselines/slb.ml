@@ -124,7 +124,18 @@ let create ~seed ?metrics ?(capacity_pps = infinity) ?(vips = []) () =
                stall steals that many packets' worth of tokens, which
                surfaces as overload drops when capacity is finite *)
             if state.capacity_pps < infinity then
-              state.tokens <- state.tokens -. float_of_int n);
+              state.tokens <- state.tokens -. float_of_int n
+          | Lb.Balancer.Reroute r ->
+            (* an SLB instance died or the flows were re-steered: the
+               per-connection table the survivors hold never saw these
+               flows, so their state is simply gone *)
+            let doomed =
+              Hashtbl.fold
+                (fun flow _dip acc ->
+                  if Lb.Balancer.reroute_selects r flow then flow :: acc else acc)
+                state.conns []
+            in
+            List.iter (Hashtbl.remove state.conns) doomed);
     }
   in
   let stats () =

@@ -6,6 +6,9 @@ type op =
   | Dip_recovered of Netcore.Endpoint.t
   | Cpu_backlog of int
   | Syn_packet of Netcore.Five_tuple.t
+  | Switch_failed of Lb.Balancer.reroute
+  | Switch_recovered of Lb.Balancer.reroute
+  | Vip_migrated of Lb.Balancer.reroute
 
 type event = {
   time : float;
@@ -42,6 +45,7 @@ type prim =
   | P_syn of Netcore.Five_tuple.t
   | P_request of Netcore.Endpoint.t * Lb.Balancer.update
   | P_health
+  | P_topology of op  (** pre-built topology op, passed through to emission *)
 
 let compile ~scenario ~seed ~vips ~horizon =
   let root = Simnet.Prng.create ~seed in
@@ -161,6 +165,19 @@ let compile ~scenario ~seed ~vips ~horizon =
                 t := !t +. gap
               done
             end
+          | Scenario.Switch_failure { at; fraction; downtime } ->
+            add_window label (c +. at) (c +. at +. downtime +. window_slack);
+            (* the salt identifies this failure episode: the recovery
+               event re-routes exactly the flows the failure moved away *)
+            let salt = 0x5f00 + Simnet.Prng.int rng 0x10000 in
+            let r = { Lb.Balancer.rr_vip = None; rr_fraction = fraction; rr_salt = salt } in
+            push (c +. at) label (P_topology (Switch_failed r));
+            push (c +. at +. downtime) label (P_topology (Switch_recovered r))
+          | Scenario.Vip_migration { at } ->
+            add_window label (c +. at) (c +. at +. window_slack);
+            let vip, _ = List.nth vips (k mod List.length vips) in
+            let r = { Lb.Balancer.rr_vip = Some vip; rr_fraction = 1.; rr_salt = 0 } in
+            push (c +. at) label (P_topology (Vip_migrated r))
         end
       done)
     sc.Scenario.faults;
@@ -254,6 +271,7 @@ let compile ~scenario ~seed ~vips ~horizon =
         end
       | P_cpu n -> emit time label (Cpu_backlog n)
       | P_syn tuple -> emit time label (Syn_packet tuple)
+      | P_topology op -> emit time label op
       | P_request (vip, u) -> route_request time label vip u
       | P_health ->
         Silkroad.Health_checker.advance hc ~now:time

@@ -34,6 +34,15 @@ type op =
   | Syn_packet of Netcore.Five_tuple.t
       (** spoofed attack SYN: processed by the balancer but not part of
           the legitimate workload *)
+  | Switch_failed of Lb.Balancer.reroute
+      (** a switch died: the selected flows are ECMP re-routed to a peer
+          that never learned them — their per-connection state is gone *)
+  | Switch_recovered of Lb.Balancer.reroute
+      (** the switch returned: the same flows (same salt) route back,
+          again landing on an instance without their state *)
+  | Vip_migrated of Lb.Balancer.reroute
+      (** a VIP moved to another switch/layer: all its flows lose their
+          per-connection state at once (§4.4) *)
 
 type event = {
   time : float;

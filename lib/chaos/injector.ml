@@ -9,6 +9,9 @@ type t = {
   c_dips_recovered : Telemetry.Registry.Counter.t;
   c_cpu_backlog : Telemetry.Registry.Counter.t;
   c_syn_packets : Telemetry.Registry.Counter.t;
+  c_switch_failures : Telemetry.Registry.Counter.t;
+  c_switch_recoveries : Telemetry.Registry.Counter.t;
+  c_vip_migrations : Telemetry.Registry.Counter.t;
 }
 
 let create ~scenario ~seed ~vips ~horizon () =
@@ -25,6 +28,9 @@ let create ~scenario ~seed ~vips ~horizon () =
     c_dips_recovered = Telemetry.Registry.counter reg "chaos.dips_recovered";
     c_cpu_backlog = Telemetry.Registry.counter reg "chaos.cpu_backlog_items";
     c_syn_packets = Telemetry.Registry.counter reg "chaos.syn_flood_packets";
+    c_switch_failures = Telemetry.Registry.counter reg "chaos.switch_failures";
+    c_switch_recoveries = Telemetry.Registry.counter reg "chaos.switch_recoveries";
+    c_vip_migrations = Telemetry.Registry.counter reg "chaos.vip_migrations";
   }
 
 let scenario t = t.compiled.Engine.scenario
@@ -44,6 +50,9 @@ let note_event t (ev : Engine.event) =
   | Engine.Dip_recovered _ -> Telemetry.Registry.Counter.incr t.c_dips_recovered
   | Engine.Cpu_backlog n -> Telemetry.Registry.Counter.add t.c_cpu_backlog n
   | Engine.Syn_packet _ -> Telemetry.Registry.Counter.incr t.c_syn_packets
+  | Engine.Switch_failed _ -> Telemetry.Registry.Counter.incr t.c_switch_failures
+  | Engine.Switch_recovered _ -> Telemetry.Registry.Counter.incr t.c_switch_recoveries
+  | Engine.Vip_migrated _ -> Telemetry.Registry.Counter.incr t.c_vip_migrations
 
 let active_fault t ~now = Engine.active_fault t.compiled ~now
 

@@ -15,7 +15,9 @@
     - [chaos.updates_delivered] / [chaos.updates_dropped] /
       [chaos.updates_suppressed] — control-channel outcomes
     - [chaos.dips_failed] / [chaos.dips_recovered]
-    - [chaos.cpu_backlog_items], [chaos.syn_flood_packets] *)
+    - [chaos.cpu_backlog_items], [chaos.syn_flood_packets]
+    - [chaos.switch_failures] / [chaos.switch_recoveries] /
+      [chaos.vip_migrations] — topology re-route events *)
 
 type t
 

@@ -32,6 +32,12 @@ type fault =
       stop : float;
       updates_per_sec : float;
     }
+  | Switch_failure of {
+      at : float;
+      fraction : float;
+      downtime : float;
+    }
+  | Vip_migration of { at : float }
 
 type t = {
   name : string;
@@ -50,6 +56,8 @@ let fault_label = function
   | Control_fault _ -> "control-fault"
   | Syn_flood _ -> "syn-flood"
   | Update_storm _ -> "update-storm"
+  | Switch_failure _ -> "switch-failure"
+  | Vip_migration _ -> "vip-migration"
 
 let background_label = "background-churn"
 let none_label = "none"
@@ -125,6 +133,36 @@ let all =
          allocation towards exhaustion and exercises the reuse path";
       faults = [ Update_storm { start = 20.; stop = 50.; updates_per_sec = 4. } ];
     };
+    {
+      base with
+      name = "switch-failure";
+      description =
+        "a switch dies mid-update and half the flows are ECMP re-routed to a \
+         peer that never learned them, then routed back when it recovers; a \
+         CPU stall widens the \xc2\xa74.3 race window around a concurrent pool update";
+      cycle = 240.;
+      faults =
+        [
+          Cpu_stall { start = 29.; stop = 29.2; period = 10.; work_items = 1_000_000 };
+          Switch_failure { at = 30.; fraction = 0.5; downtime = 150. };
+          Update_storm { start = 30.4; stop = 30.5; updates_per_sec = 2. };
+        ];
+    };
+    {
+      base with
+      name = "vip-migration";
+      description =
+        "one VIP migrates to a different switch layer each cycle: every one of \
+         its connections loses its ConnTable entry at once, racing a concurrent \
+         pool update behind a stalled switch CPU";
+      cycle = 240.;
+      faults =
+        [
+          Cpu_stall { start = 29.; stop = 29.2; period = 10.; work_items = 1_000_000 };
+          Vip_migration { at = 30. };
+          Update_storm { start = 30.4; stop = 30.5; updates_per_sec = 2. };
+        ];
+    };
   ]
 
 let find name = List.find_opt (fun s -> String.equal s.name name) all
@@ -145,6 +183,10 @@ let pp_fault ppf = function
     Format.fprintf ppf "SYN flood %.0f pps during [%.0fs, %.0fs]" pps start stop
   | Update_storm { start; stop; updates_per_sec } ->
     Format.fprintf ppf "update storm %.1f/s during [%.0fs, %.0fs]" updates_per_sec start stop
+  | Switch_failure { at; fraction; downtime } ->
+    Format.fprintf ppf "switch failure re-routing %.0f%% of flows at t+%.0fs for %.0fs"
+      (100. *. fraction) at downtime
+  | Vip_migration { at } -> Format.fprintf ppf "VIP migration at t+%.0fs" at
 
 let pp ppf t =
   Format.fprintf ppf "@[<v 2>%s: %s@,cycle %.0fs, churn %.1f/min, health %.0fs x%d" t.name

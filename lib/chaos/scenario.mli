@@ -64,6 +64,21 @@ type fault =
       (** Rapid remove/re-add churn on one VIP — the version-space
           exhaustion attack the §4.2 version-reuse path defends
           against. *)
+  | Switch_failure of {
+      at : float;  (** seconds into the cycle *)
+      fraction : float;  (** fraction of flows ECMP re-routes away *)
+      downtime : float;  (** seconds until the switch returns *)
+    }
+      (** A load-balancing switch dies: upstream ECMP re-routes
+          [fraction] of the flows (selected by a salted 5-tuple hash) to
+          surviving switches that never learned them, and routes the
+          same flows back when the switch recovers [downtime] later —
+          both transitions drop the affected connections' state
+          ({!Lb.Balancer.Reroute}). *)
+  | Vip_migration of { at : float }
+      (** §4.4 VIP migration: one VIP (rotating per cycle) is moved to a
+          different switch/layer, so every one of its connections loses
+          its per-connection state at once. *)
 
 type t = {
   name : string;

@@ -5,13 +5,30 @@ type spec = {
   rate : float;
   n_vips : int;
   dips_per_vip : int;
+  probe_interval : float;
 }
 
 let default_spec scenario ~seed =
-  { scenario; seed; seconds = 240.; rate = 100.; n_vips = 2; dips_per_vip = 8 }
+  {
+    scenario;
+    seed;
+    seconds = 240.;
+    rate = 100.;
+    n_vips = 2;
+    dips_per_vip = 8;
+    probe_interval = 15.;
+  }
 
 let smoke_spec scenario ~seed =
-  { scenario; seed; seconds = 130.; rate = 40.; n_vips = 1; dips_per_vip = 8 }
+  {
+    scenario;
+    seed;
+    seconds = 130.;
+    rate = 40.;
+    n_vips = 1;
+    dips_per_vip = 8;
+    probe_interval = 15.;
+  }
 
 let balancer_names = [ "silkroad"; "slb"; "duet"; "ecmp" ]
 
@@ -43,8 +60,8 @@ let run spec ~balancer =
   in
   let b = make_balancer balancer ~seed:spec.seed ~vips in
   let result =
-    Harness.Driver.run ~chaos:injector ~balancer:b ~flows:workload.Common.flows ~updates:[]
-      ~horizon ()
+    Harness.Driver.run ~probe_interval:spec.probe_interval ~chaos:injector ~balancer:b
+      ~flows:workload.Common.flows ~updates:[] ~horizon ()
   in
   let report =
     Chaos.Report.build ~scenario:spec.scenario ~seed:spec.seed ~horizon

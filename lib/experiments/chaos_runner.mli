@@ -11,6 +11,10 @@ type spec = {
   rate : float;  (** new connections per second per VIP *)
   n_vips : int;
   dips_per_vip : int;
+  probe_interval : float;
+      (** seconds between PCC probes on established connections; small
+          values make flows re-arrive quickly after a re-route, which is
+          what the switch-failure/vip-migration scenarios measure *)
 }
 
 val default_spec : Chaos.Scenario.t -> seed:int -> spec

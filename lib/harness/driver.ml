@@ -168,6 +168,15 @@ let inject_chaos_event acc inj (ev : Chaos.Engine.event) sim =
   | Chaos.Engine.Cpu_backlog n ->
     acc.balancer.Lb.Balancer.advance ~now;
     acc.balancer.Lb.Balancer.disturb ~now (Lb.Balancer.Cpu_backlog n)
+  | Chaos.Engine.Switch_failed r
+  | Chaos.Engine.Switch_recovered r
+  | Chaos.Engine.Vip_migrated r ->
+    (* topology re-route: the affected flows land on a balancer instance
+       without their state. The connections themselves are fine — the
+       PCC oracle keeps judging them, which is the point: a stateful
+       balancer must survive the re-route without remapping them. *)
+    acc.balancer.Lb.Balancer.advance ~now;
+    acc.balancer.Lb.Balancer.disturb ~now (Lb.Balancer.Reroute r)
   | Chaos.Engine.Syn_packet tuple ->
     (* attack traffic: goes through the balancer (filling tables and
        queues) but is not part of the measured workload, so it touches

@@ -27,6 +27,7 @@ type control =
   | Dip_dead of Netcore.Endpoint.t
   | Cpu_backlog of int
   | Attack_syn of Netcore.Five_tuple.t
+  | Reroute of Lb.Balancer.reroute
 
 type mode =
   | Scalar
@@ -47,7 +48,10 @@ let controls_of_chaos ~horizon events =
         | Chaos.Engine.Dip_died d -> Some (ev.Chaos.Engine.time, Dip_dead d)
         | Chaos.Engine.Dip_recovered _ -> None
         | Chaos.Engine.Cpu_backlog n -> Some (ev.Chaos.Engine.time, Cpu_backlog n)
-        | Chaos.Engine.Syn_packet tuple -> Some (ev.Chaos.Engine.time, Attack_syn tuple))
+        | Chaos.Engine.Syn_packet tuple -> Some (ev.Chaos.Engine.time, Attack_syn tuple)
+        | Chaos.Engine.Switch_failed r
+        | Chaos.Engine.Switch_recovered r
+        | Chaos.Engine.Vip_migrated r -> Some (ev.Chaos.Engine.time, Reroute r))
     events
 
 let controls_of_updates ~horizon updates =
@@ -269,6 +273,14 @@ module Stepper = struct
           (Silkroad.Switch.process_flow st.switch ~now:at ~flags:Netcore.Tcp_flags.syn
              ~payload_len:0 tuple)
       end
+    | Reroute r ->
+      (* topology re-route: selected flows lose their switch-side state.
+         No PCC effect here — the oracle keeps judging them, which is
+         exactly the network-wide consistency question. *)
+      Silkroad.Switch.advance st.switch ~now:at;
+      ignore
+        (Silkroad.Switch.forget_flows st.switch ~now:at (fun flow _vip ->
+             Lb.Balancer.reroute_selects r flow))
 
   let finish st ~now =
     let n = Array.length st.sh.part.Packed_trace.sh_times.(st.shard) in

@@ -29,6 +29,12 @@ type control =
   | Dip_dead of Netcore.Endpoint.t  (** ground truth only: PCC exclusion *)
   | Cpu_backlog of int
   | Attack_syn of Netcore.Five_tuple.t
+  | Reroute of Lb.Balancer.reroute
+      (** topology re-route (switch failure/recovery, VIP migration):
+          the selected flows lose their switch-side connection state via
+          {!Silkroad.Switch.forget_flows}; the PCC arrays are untouched,
+          so the oracle keeps holding the re-routed connections to their
+          original DIP — the network-wide consistency question. *)
 
 type mode =
   | Scalar

@@ -11,7 +11,15 @@ type location =
   | Switch_cpu
   | Slb
 
-type disturbance = Cpu_backlog of int
+type reroute = {
+  rr_vip : Netcore.Endpoint.t option;
+  rr_fraction : float;
+  rr_salt : int;
+}
+
+type disturbance =
+  | Cpu_backlog of int
+  | Reroute of reroute
 
 type outcome = {
   dip : Netcore.Endpoint.t option;
@@ -37,6 +45,19 @@ let pp_update ppf = function
   | Dip_remove d -> Format.fprintf ppf "remove %a" Netcore.Endpoint.pp d
   | Dip_replace { old_dip; new_dip } ->
     Format.fprintf ppf "replace %a -> %a" Netcore.Endpoint.pp old_dip Netcore.Endpoint.pp new_dip
+
+let reroute_selects r flow =
+  let vip_matches =
+    match r.rr_vip with
+    | None -> true
+    | Some vip -> Netcore.Endpoint.equal flow.Netcore.Five_tuple.dst vip
+  in
+  vip_matches
+  && (r.rr_fraction >= 1.
+     ||
+     let h = Netcore.Five_tuple.hash ~seed:r.rr_salt flow in
+     Netcore.Hashing.to_range h 1_000_000
+     < int_of_float (r.rr_fraction *. 1_000_000.))
 
 let apply_update pool = function
   | Dip_add d -> Dip_pool.add pool d

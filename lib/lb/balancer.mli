@@ -23,6 +23,21 @@ type location =
   | Switch_cpu  (** slow path through the switch management CPU *)
   | Slb  (** handled by a software load balancer server *)
 
+type reroute = {
+  rr_vip : Netcore.Endpoint.t option;
+      (** restrict to flows of this VIP; [None] = every VIP *)
+  rr_fraction : float;
+      (** fraction of matching flows re-routed, selected by a salted
+          5-tuple hash so the same flows are chosen on failure and on
+          the matching recovery event *)
+  rr_salt : int;  (** hash salt identifying this failure episode *)
+}
+(** Description of a network event — a switch failing, recovering, or a
+    VIP migrating to another layer — that moves some flows to a
+    different physical balancer instance. The affected flows lose any
+    per-connection state the old instance held: ECMP re-hashes them to
+    a survivor that never learned them. *)
+
 type disturbance =
   | Cpu_backlog of int
       (** queue this many extra work items on the balancer's slow-path
@@ -30,6 +45,11 @@ type disturbance =
           packet path for an SLB). Used by the chaos harness to model
           control-plane stalls (§4.3's race window); balancers with no
           rate-limited slow path ignore it. *)
+  | Reroute of reroute
+      (** drop the per-connection state of the selected flows, as an
+          upstream re-route to a different switch would. Stateless
+          balancers (ECMP) and ones whose state survives the re-route
+          (duet's SLB tier) treat it as a no-op. *)
 
 type outcome = {
   dip : Netcore.Endpoint.t option;  (** [None] = packet dropped *)
@@ -59,3 +79,8 @@ val pp_update : Format.formatter -> update -> unit
 
 val apply_update : Dip_pool.t -> update -> Dip_pool.t
 (** The pure pool transformation an update denotes. *)
+
+val reroute_selects : reroute -> Netcore.Five_tuple.t -> bool
+(** Does this re-route event move the given flow? Deterministic in the
+    event's salt, so a recovery event with the same salt selects exactly
+    the flows its failure event moved away. *)

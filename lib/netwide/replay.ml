@@ -1,0 +1,411 @@
+(* Network-wide replay: the packed trace is sliced into segments at
+   control/topology-event boundaries; within a segment every flow is
+   owned by exactly one switch ({!Route.owner}), so the switches can be
+   driven independently (optionally on a worker group) while one global
+   flow-indexed judge enforces PCC across the whole network.
+
+   The judge mirrors Harness.Replay's flat PCC accounting (same state
+   bytes, same transitions); the degenerate-topology differential in
+   test/test_netwide.ml pins the two byte-identical. *)
+
+type event =
+  | Switch_down of int
+  | Switch_up of int
+  | Vip_move of Netcore.Endpoint.t * string
+
+type result = {
+  packets : int;
+  dropped : int;
+  connections : int;
+  broken : int;
+  violations : int;
+  moved_flows : int;
+  first_dip : Netcore.Endpoint.t array;
+  telemetry : Telemetry.Registry.t;
+  elapsed : float;
+}
+
+let payload_len = 1024
+
+(* flat PCC state bytes — Harness.Replay's encoding *)
+let st_live = 1
+let st_excluded = 2
+let st_bad = 4
+
+type counters = {
+  mutable nc_packets : int;
+  mutable nc_dropped : int;
+  mutable nc_total : int;
+  mutable nc_broken : int;
+  mutable nc_violations : int;
+}
+
+let fresh_counters () =
+  { nc_packets = 0; nc_dropped = 0; nc_total = 0; nc_broken = 0; nc_violations = 0 }
+
+let judge ~no_dip ~first ~state (c : counters) i dip ~ends =
+  c.nc_packets <- c.nc_packets + 1;
+  if dip == no_dip then c.nc_dropped <- c.nc_dropped + 1;
+  let b = Char.code (Bytes.unsafe_get state i) in
+  if b land st_live = 0 then begin
+    c.nc_total <- c.nc_total + 1;
+    let bad = dip == no_dip in
+    if bad then begin
+      c.nc_broken <- c.nc_broken + 1;
+      c.nc_violations <- c.nc_violations + 1
+    end;
+    Array.unsafe_set first i dip;
+    Bytes.unsafe_set state i (Char.unsafe_chr (st_live lor (if bad then st_bad else 0)))
+  end
+  else if b land st_excluded = 0 then begin
+    let f = Array.unsafe_get first i in
+    let consistent = f != no_dip && dip != no_dip && Netcore.Endpoint.equal f dip in
+    if not consistent then begin
+      c.nc_violations <- c.nc_violations + 1;
+      if b land st_bad = 0 then begin
+        c.nc_broken <- c.nc_broken + 1;
+        Bytes.unsafe_set state i (Char.unsafe_chr (b lor st_bad))
+      end
+    end
+  end;
+  if ends then Bytes.unsafe_set state i '\000'
+
+(* Pcc.on_dip_removed, network-wide: there is one judge, so no
+   shard-ownership filter is needed *)
+let exclude_dip ~no_dip ~first ~state dip =
+  for i = 0 to Array.length first - 1 do
+    let b = Char.code (Bytes.unsafe_get state i) in
+    if b land st_live <> 0 then begin
+      let f = Array.unsafe_get first i in
+      if f != no_dip && Netcore.Endpoint.equal f dip then
+        Bytes.unsafe_set state i (Char.unsafe_chr (b lor st_excluded))
+    end
+  done
+
+type action =
+  | A_control of Harness.Replay.control
+  | A_event of event
+
+let run ?(cfg = Silkroad.Config.default) ?(batched = true) ?(parallel = false) ?(events = [])
+    ?(controls = []) ~topo ~(trace : Harness.Packed_trace.t) () =
+  let no_dip = Silkroad.Switch.no_dip in
+  let n_flows = Array.length trace.Harness.Packed_trace.flow_ids in
+  let n_pkts = Array.length trace.Harness.Packed_trace.times in
+  let times = trace.Harness.Packed_trace.times in
+  let pkt_flow = trace.Harness.Packed_trace.pkt_flow in
+  let pkt_flags = trace.Harness.Packed_trace.pkt_flags in
+  let tuples = trace.Harness.Packed_trace.flow_tuples in
+  let first = Array.make n_flows no_dip in
+  let state = Bytes.make n_flows '\000' in
+  let flow_vip_ep =
+    Array.map
+      (fun v -> trace.Harness.Packed_trace.vips.(v))
+      trace.Harness.Packed_trace.flow_vip
+  in
+  let flag_tbl = Array.init 256 Netcore.Tcp_flags.of_byte in
+  let n_nodes = Topology.n_nodes topo in
+  (* node registries persist across switch failure/recovery so counters
+     continue; switches themselves are the volatile state *)
+  let registries : Telemetry.Registry.t option array = Array.make n_nodes None in
+  let switches : Silkroad.Switch.t option array = Array.make n_nodes None in
+  let cur_pools = Hashtbl.create 16 in
+  List.iter (fun (v, p) -> Hashtbl.replace cur_pools v p) topo.Topology.vips;
+  let own = Telemetry.Registry.create () in
+  (* find-or-create keeps these out of the snapshot until the first
+     topology event fires — the degenerate byte-identity depends on it *)
+  let nw name = Telemetry.Registry.counter own ("netwide." ^ name) in
+  let registry_of id =
+    match registries.(id) with
+    | Some r -> r
+    | None ->
+      let r = Telemetry.Registry.create () in
+      registries.(id) <- Some r;
+      r
+  in
+  let layer_hosts_vips pos =
+    List.exists (fun (vip, _) -> Topology.layer_of_vip topo vip = pos) topo.Topology.vips
+  in
+  let ensure_switch id =
+    match switches.(id) with
+    | Some sw -> sw
+    | None ->
+      let node = topo.Topology.nodes.(id) in
+      let sw = Silkroad.Switch.create ~metrics:(registry_of id) cfg in
+      List.iter
+        (fun (vip, _) ->
+          if Topology.layer_of_vip topo vip = node.Topology.layer_pos then
+            Silkroad.Switch.add_vip sw vip (Hashtbl.find cur_pools vip))
+        topo.Topology.vips;
+      switches.(id) <- Some sw;
+      sw
+  in
+  (* switches exist only where VIPs terminate: transit layers are pure
+     route hops with no connection state *)
+  let create_initial () =
+    Array.iter
+      (fun (n : Topology.node) ->
+        if n.Topology.up && layer_hosts_vips n.Topology.layer_pos then
+          ignore (ensure_switch n.Topology.node_id))
+      topo.Topology.nodes
+  in
+  let iter_live_switches f =
+    for id = 0 to n_nodes - 1 do
+      match switches.(id) with Some sw -> f sw | None -> ()
+    done
+  in
+  let owner = Array.make n_flows (-1) in
+  let recompute_owners () =
+    let moved = ref 0 in
+    for f = 0 to n_flows - 1 do
+      let o =
+        match Route.owner topo ~vip:flow_vip_ep.(f) tuples.(f) with
+        | Some n -> n.Topology.node_id
+        | None -> -1
+      in
+      if o <> owner.(f) then incr moved;
+      owner.(f) <- o
+    done;
+    !moved
+  in
+  let totals = fresh_counters () in
+  let cursor = ref 0 in
+  (* process one node's gathered packets; [c] is private to the caller
+     (per node in the parallel path), the judge's flow cells are owned
+     by exactly one node per segment *)
+  let process_node id (idxs : int array) (c : counters) =
+    let m = Array.length idxs in
+    let sw =
+      match switches.(id) with
+      | Some sw -> sw
+      | None -> ensure_switch id
+    in
+    if batched then begin
+      let ts = Array.make m 0. in
+      let fls = Array.make m Harness.Packed_trace.dummy_tuple in
+      let fgs = Array.make m Netcore.Tcp_flags.none in
+      let dips = Array.make m no_dip in
+      for j = 0 to m - 1 do
+        let i = idxs.(j) in
+        ts.(j) <- times.(i);
+        fls.(j) <- tuples.(pkt_flow.(i));
+        fgs.(j) <- flag_tbl.(Char.code (Bytes.get pkt_flags i))
+      done;
+      Silkroad.Switch.process_batch sw ~times:ts ~flows:fls ~flags:fgs ~payload_len ~dips ~pos:0
+        ~len:m;
+      for j = 0 to m - 1 do
+        let i = idxs.(j) in
+        judge ~no_dip ~first ~state c pkt_flow.(i) dips.(j)
+          ~ends:(Netcore.Tcp_flags.is_connection_end fgs.(j))
+      done
+    end
+    else
+      for j = 0 to m - 1 do
+        let i = idxs.(j) in
+        let flags = flag_tbl.(Char.code (Bytes.get pkt_flags i)) in
+        let dip =
+          Silkroad.Switch.process_flow sw ~now:times.(i) ~flags ~payload_len tuples.(pkt_flow.(i))
+        in
+        judge ~no_dip ~first ~state c pkt_flow.(i) dip
+          ~ends:(Netcore.Tcp_flags.is_connection_end flags)
+      done
+  in
+  let add_counters into c =
+    into.nc_packets <- into.nc_packets + c.nc_packets;
+    into.nc_dropped <- into.nc_dropped + c.nc_dropped;
+    into.nc_total <- into.nc_total + c.nc_total;
+    into.nc_broken <- into.nc_broken + c.nc_broken;
+    into.nc_violations <- into.nc_violations + c.nc_violations
+  in
+  (* process every packet with time <= [at] (Driver's tie order: probes
+     scheduled before control events at the same timestamp) *)
+  let flush_to at =
+    let stop = ref !cursor in
+    while !stop < n_pkts && times.(!stop) <= at do
+      incr stop
+    done;
+    let lo = !cursor and hi = !stop in
+    if hi > lo then begin
+      let counts = Array.make n_nodes 0 in
+      (* undeliverable packets (layer fully down): judged as drops *)
+      for i = lo to hi - 1 do
+        let o = owner.(pkt_flow.(i)) in
+        if o >= 0 then counts.(o) <- counts.(o) + 1
+        else
+          judge ~no_dip ~first ~state totals pkt_flow.(i) no_dip
+            ~ends:
+              (Netcore.Tcp_flags.is_connection_end
+                 flag_tbl.(Char.code (Bytes.get pkt_flags i)))
+      done;
+      let bufs = Array.map (fun c -> Array.make c 0) counts in
+      let fill = Array.make n_nodes 0 in
+      for i = lo to hi - 1 do
+        let o = owner.(pkt_flow.(i)) in
+        if o >= 0 then begin
+          bufs.(o).(fill.(o)) <- i;
+          fill.(o) <- fill.(o) + 1
+        end
+      done;
+      let active = ref [] in
+      for id = n_nodes - 1 downto 0 do
+        if counts.(id) > 0 then begin
+          (* switch creation stays sequential: the workers below only
+             drive pre-existing switches *)
+          ignore (ensure_switch id);
+          active := id :: !active
+        end
+      done;
+      let active = Array.of_list !active in
+      let n_active = Array.length active in
+      let seg_counters = Array.init n_active (fun _ -> fresh_counters ()) in
+      let run_one k = process_node active.(k) bufs.(active.(k)) seg_counters.(k) in
+      let workers =
+        if parallel && n_active > 1 then Int.min n_active (Harness.Replay.auto_shards ()) else 1
+      in
+      if workers > 1 then begin
+        let run_worker w =
+          let k = ref w in
+          while !k < n_active do
+            run_one !k;
+            k := !k + workers
+          done
+        in
+        let doms =
+          Array.init (workers - 1) (fun j -> Domain.spawn (fun () -> run_worker (j + 1)))
+        in
+        run_worker 0;
+        Array.iter Domain.join doms
+      end
+      else
+        for k = 0 to n_active - 1 do
+          run_one k
+        done;
+      Array.iter (add_counters totals) seg_counters
+    end;
+    cursor := hi
+  in
+  let apply_control at (ctrl : Harness.Replay.control) =
+    match ctrl with
+    | Harness.Replay.Update (vip, u) ->
+      (* Stepper order: advance, dead-server PCC accounting, update *)
+      iter_live_switches (fun sw -> Silkroad.Switch.advance sw ~now:at);
+      (match u with
+       | Lb.Balancer.Dip_remove d -> exclude_dip ~no_dip ~first ~state d
+       | Lb.Balancer.Dip_replace { old_dip; _ } -> exclude_dip ~no_dip ~first ~state old_dip
+       | Lb.Balancer.Dip_add _ -> ());
+      (match Hashtbl.find_opt cur_pools vip with
+       | Some pool -> Hashtbl.replace cur_pools vip (Lb.Balancer.apply_update pool u)
+       | None -> ());
+      iter_live_switches (fun sw ->
+          if Silkroad.Switch.has_vip sw vip then Silkroad.Switch.request_update sw ~now:at ~vip u)
+    | Harness.Replay.Dip_dead d -> exclude_dip ~no_dip ~first ~state d
+    | Harness.Replay.Cpu_backlog n ->
+      iter_live_switches (fun sw ->
+          Silkroad.Switch.advance sw ~now:at;
+          Silkroad.Switch.inject_cpu_backlog sw ~now:at ~work_items:n)
+    | Harness.Replay.Attack_syn tuple ->
+      (* routed like any packet of its (spoofed) VIP; not measured *)
+      (match Route.owner topo ~vip:tuple.Netcore.Five_tuple.dst tuple with
+       | Some n ->
+         let sw = ensure_switch n.Topology.node_id in
+         Silkroad.Switch.advance sw ~now:at;
+         ignore
+           (Silkroad.Switch.process_flow sw ~now:at ~flags:Netcore.Tcp_flags.syn ~payload_len:0
+              tuple)
+       | None -> ())
+    | Harness.Replay.Reroute r ->
+      iter_live_switches (fun sw ->
+          Silkroad.Switch.advance sw ~now:at;
+          ignore
+            (Silkroad.Switch.forget_flows sw ~now:at (fun flow _vip ->
+                 Lb.Balancer.reroute_selects r flow)))
+  in
+  let moved_total = ref 0 in
+  let note_moved () =
+    let moved = recompute_owners () in
+    moved_total := !moved_total + moved;
+    Telemetry.Registry.Counter.add (nw "moved_flows") moved
+  in
+  let apply_event at ev =
+    (match ev with
+     | Switch_down id ->
+       Telemetry.Registry.Counter.incr (nw "switch_downs");
+       Topology.set_up topo ~node_id:id false;
+       (* the device lost power: its connection state is simply gone *)
+       switches.(id) <- None
+     | Switch_up id ->
+       Telemetry.Registry.Counter.incr (nw "switch_ups");
+       Topology.set_up topo ~node_id:id true;
+       if layer_hosts_vips topo.Topology.nodes.(id).Topology.layer_pos then
+         (* fresh switch, same registry, current pools *)
+         ignore (ensure_switch id)
+     | Vip_move (vip, layer_name) ->
+       Telemetry.Registry.Counter.incr (nw "vip_moves");
+       let old_pos = Topology.layer_of_vip topo vip in
+       Topology.move_vip topo vip layer_name;
+       let new_pos = Topology.find_layer topo layer_name in
+       if new_pos <> old_pos then begin
+         (* state does not travel: the old layer's switches forget the
+            VIP's flows (the stale VIPTable registration is harmless —
+            routing no longer sends the VIP there) *)
+         Array.iter
+           (fun (n : Topology.node) ->
+             match switches.(n.Topology.node_id) with
+             | Some sw ->
+               ignore
+                 (Silkroad.Switch.forget_flows sw ~now:at (fun _flow v ->
+                      Netcore.Endpoint.equal v vip))
+             | None -> ())
+           topo.Topology.layer_nodes.(old_pos);
+         Array.iter
+           (fun (n : Topology.node) ->
+             if n.Topology.up then begin
+               let sw = ensure_switch n.Topology.node_id in
+               if not (Silkroad.Switch.has_vip sw vip) then
+                 Silkroad.Switch.add_vip sw vip (Hashtbl.find cur_pools vip)
+             end)
+           topo.Topology.layer_nodes.(new_pos)
+       end);
+    note_moved ()
+  in
+  let actions =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.map (fun (t, c) -> (t, A_control c)) controls
+      @ List.map (fun (t, e) -> (t, A_event e)) events)
+  in
+  let (), elapsed =
+    Harness.Stopwatch.time (fun () ->
+        create_initial ();
+        ignore (recompute_owners ());
+        List.iter
+          (fun (at, action) ->
+            flush_to at;
+            match action with
+            | A_control c -> apply_control at c
+            | A_event e -> apply_event at e)
+          actions;
+        flush_to infinity;
+        iter_live_switches (fun sw ->
+            Silkroad.Switch.advance sw ~now:trace.Harness.Packed_trace.horizon))
+  in
+  let c name v = Telemetry.Registry.Counter.add (Telemetry.Registry.counter own name) v in
+  c "replay.packets" totals.nc_packets;
+  c "replay.dropped_packets" totals.nc_dropped;
+  c "replay.connections" totals.nc_total;
+  c "replay.broken_connections" totals.nc_broken;
+  c "replay.violation_packets" totals.nc_violations;
+  let node_regs =
+    Array.to_list registries |> List.filter_map (fun r -> r)
+  in
+  let telemetry = Telemetry.Registry.merge_all (own :: node_regs) in
+  {
+    packets = totals.nc_packets;
+    dropped = totals.nc_dropped;
+    connections = totals.nc_total;
+    broken = totals.nc_broken;
+    violations = totals.nc_violations;
+    moved_flows = !moved_total;
+    first_dip = first;
+    telemetry;
+    elapsed;
+  }

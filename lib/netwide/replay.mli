@@ -1,0 +1,67 @@
+(** Network-wide trace replay: a {!Harness.Packed_trace} streamed
+    through every switch of a {!Topology}, with one end-to-end PCC
+    judge spanning the whole network.
+
+    Each switch is a shard whose partition is defined by the topology
+    ({!Route.owner}) instead of a hash — the PR 9 worker-group replay
+    machinery with ECMP as the shard function. The judge's flat
+    first-DIP/state arrays are global and flow-indexed, never
+    per-switch: when a topology event moves a flow to a switch that
+    never learned it, the oracle keeps holding the connection to the
+    DIP its very first packet got. That is the paper's network-wide
+    claim stated as code — a connection must survive pool updates
+    {e and} a re-route to a different switch.
+
+    Equivalence contract (pinned by test/test_netwide.ml): on a
+    degenerate topology whose placement puts every VIP on a single
+    switch and with no topology events, [run] is byte-identical in
+    merged telemetry to {!Harness.Replay.run} [~mode:Scalar] (or
+    [Batch] when [batched]) over the same trace and controls. The
+    [netwide.*] counters are registered only when a topology event
+    actually fires, so event-free runs add nothing to the snapshot. *)
+
+type event =
+  | Switch_down of int  (** node id; its connection state is lost *)
+  | Switch_up of int
+      (** node id; returns as a {e fresh} switch (same telemetry
+          registry, empty tables) hosting its layer's VIPs at their
+          current pools *)
+  | Vip_move of Netcore.Endpoint.t * string
+      (** re-pin the VIP to the named layer; its flows' state on the
+          old layer is dropped (state does not travel, §4.4) *)
+
+type result = {
+  packets : int;
+  dropped : int;
+  connections : int;
+  broken : int;  (** connections that ever saw a wrong/no DIP *)
+  violations : int;  (** packets violating per-connection consistency *)
+  moved_flows : int;  (** flow re-homings applied by topology events *)
+  first_dip : Netcore.Endpoint.t array;  (** per flow, network-wide *)
+  telemetry : Telemetry.Registry.t;
+      (** merged snapshot: the run's own [replay.*] (and, if events
+          fired, [netwide.*]) counters plus every node's registry in
+          node-id order. Registries survive switch failure/recovery, so
+          counters continue across a down/up cycle. *)
+  elapsed : float;
+}
+
+val run :
+  ?cfg:Silkroad.Config.t ->
+  ?batched:bool ->
+  ?parallel:bool ->
+  ?events:(float * event) list ->
+  ?controls:(float * Harness.Replay.control) list ->
+  topo:Topology.t ->
+  trace:Harness.Packed_trace.t ->
+  unit ->
+  result
+(** Replay [trace] through [topo]. [controls] are the ordinary replay
+    controls (updates, chaos), applied network-wide with the driver's
+    tie order (packets at a control's time fire first; at equal times
+    controls fire before topology [events]). [batched] (default true)
+    uses {!Silkroad.Switch.process_batch}; [parallel] (default false)
+    processes the switches of each segment on a worker group of
+    [min switches (auto_shards ())] domains — safe because a flow is
+    owned by exactly one switch between consecutive topology events,
+    and events are barriers. *)

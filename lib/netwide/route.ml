@@ -1,0 +1,42 @@
+(* Rendezvous (highest-random-weight) hashing per layer: every (flow,
+   node) pair gets an independent score, the live node with the highest
+   score wins. Removing a node only re-homes the flows it was winning —
+   the property the qcheck suite pins ("an Agg failure changes only
+   flows that transited the dead switch"). *)
+
+let score t (n : Topology.node) h =
+  Netcore.Hashing.seeded ~seed:(t.Topology.seed + (n.Topology.node_id * 0x9e3779b1)) h
+
+let pick t ~layer flow =
+  let h = Netcore.Five_tuple.hash ~seed:t.Topology.seed flow in
+  let nodes = t.Topology.layer_nodes.(layer) in
+  let best = ref None in
+  Array.iter
+    (fun (n : Topology.node) ->
+      if n.Topology.up then begin
+        let s = score t n h in
+        match !best with
+        | Some (bs, _) when Int64.unsigned_compare bs s >= 0 -> ()
+        | _ -> best := Some (s, n)
+      end)
+    nodes;
+  Option.map snd !best
+
+let path t ~vip flow =
+  let dest = Topology.layer_of_vip t vip in
+  let rec go layer acc =
+    if layer > dest then List.rev acc
+    else
+      match pick t ~layer flow with
+      | None -> List.rev acc
+      | Some n -> go (layer + 1) (n :: acc)
+  in
+  go 0 []
+
+let owner t ~vip flow =
+  let dest = Topology.layer_of_vip t vip in
+  match path t ~vip flow with
+  | [] -> None
+  | hops ->
+    let last = List.nth hops (List.length hops - 1) in
+    if last.Topology.layer_pos = dest then Some last else None

@@ -123,7 +123,20 @@ let balancer t =
     disturb =
       (fun ~now d ->
         match d with
-        | Lb.Balancer.Cpu_backlog n -> Switch.inject_cpu_backlog t.sw ~now ~work_items:n);
+        | Lb.Balancer.Cpu_backlog n -> Switch.inject_cpu_backlog t.sw ~now ~work_items:n
+        | Lb.Balancer.Reroute r ->
+          (* both tiers lose the re-routed flows: the hardware table and
+             the software fallback live on the same failed device *)
+          let selects flow = Lb.Balancer.reroute_selects r flow in
+          ignore (Switch.forget_flows t.sw ~now (fun flow _vip -> selects flow));
+          let drop tbl =
+            let doomed =
+              Hashtbl.fold (fun flow _ acc -> if selects flow then flow :: acc else acc) tbl []
+            in
+            List.iter (Hashtbl.remove tbl) doomed
+          in
+          drop t.slb.soft_conns;
+          drop t.spilled);
   }
 
 let spilled_connections t = Telemetry.Registry.Counter.value t.c_spilled

@@ -122,6 +122,7 @@ type t = {
   c_forced_transitions : Telemetry.Registry.Counter.t;
   c_metered_drops : Telemetry.Registry.Counter.t;
   c_repairs_completed : Telemetry.Registry.Counter.t;
+  c_rerouted_flows : Telemetry.Registry.Counter.t;
   (* the uniform per-balancer pair every Lb.Balancer.t registry exposes *)
   c_lb_packets : Telemetry.Registry.Counter.t;
   c_lb_dropped : Telemetry.Registry.Counter.t;
@@ -214,6 +215,7 @@ let create ?metrics ?(check = `Warn) ?conn_layout cfg =
     c_forced_transitions = counter "switch.forced_transitions";
     c_metered_drops = counter "switch.metered_drops";
     c_repairs_completed = counter "switch.repairs_completed";
+    c_rerouted_flows = counter "switch.rerouted_flows";
     c_lb_packets = counter "lb.packets";
     c_lb_dropped = counter "lb.dropped_packets";
     g_tracked_flows = Telemetry.Registry.gauge reg "switch.tracked_flows";
@@ -870,6 +872,30 @@ let inject_cpu_backlog t ~now ~work_items =
     Queue.add (done_at, Repair_batch []) t.cpu_done
   end
 
+let forget_flows t ~now select =
+  advance t ~now;
+  (* an upstream re-route: the selected flows now hash to a different
+     physical switch, so every trace of them here — ConnTable entry,
+     aging timer, version refcount, any step-1 barrier they were
+     holding — is torn down exactly as a deletion would. The flows
+     themselves are still alive; they will reappear as unknown
+     connections wherever ECMP sends them next. *)
+  let doomed =
+    Hashtbl.fold
+      (fun flow (st : conn_state) acc ->
+        if select flow st.cs_vip then (flow, st) :: acc else acc)
+      t.flows []
+  in
+  List.iter
+    (fun (flow, (st : conn_state)) ->
+      if st.inserted then ignore (Conn_table.remove t.conns flow);
+      barrier_resolved t ~now ~vip:st.cs_vip flow;
+      destroy_state t flow st)
+    doomed;
+  let n = List.length doomed in
+  Telemetry.Registry.Counter.add t.c_rerouted_flows n;
+  n
+
 let set_meter t ~vip ~cir ~cbs ~eir ~ebs =
   if not (Vip_table.mem t.vips vip) then invalid_arg "Switch.set_meter: unknown VIP";
   Hashtbl.replace t.meters vip (Asic.Meter.create ~cir ~cbs ~eir ~ebs)
@@ -890,7 +916,10 @@ let balancer t =
     disturb =
       (fun ~now d ->
         match d with
-        | Lb.Balancer.Cpu_backlog n -> inject_cpu_backlog t ~now ~work_items:n);
+        | Lb.Balancer.Cpu_backlog n -> inject_cpu_backlog t ~now ~work_items:n
+        | Lb.Balancer.Reroute r ->
+          ignore
+            (forget_flows t ~now (fun flow _vip -> Lb.Balancer.reroute_selects r flow)));
   }
 
 let stats t =

@@ -160,6 +160,15 @@ val pending_updates : t -> int
 (** Active update jobs plus queued updates — the control-path backlog a
     [drain] waits out. *)
 
+val forget_flows : t -> now:float -> (Netcore.Five_tuple.t -> Netcore.Endpoint.t -> bool) -> int
+(** Drop every tracked connection [select flow vip] chooses, as an
+    upstream re-route to another switch would: the ConnTable entry,
+    aging timer, version refcount and any step-1 barrier membership are
+    torn down; the flow will next be seen (by whichever switch ECMP now
+    picks) as an unknown connection. Counted in [switch.rerouted_flows];
+    returns how many flows were dropped. This is the
+    {!Lb.Balancer.Reroute} disturbance's implementation. *)
+
 val inject_cpu_backlog : t -> now:float -> work_items:int -> unit
 (** Queue [work_items] units of dummy work on the switch CPU, delaying
     every insertion/deletion behind it — the chaos harness's model of a

@@ -75,5 +75,14 @@ let balancer t =
           (* every live member has its own management CPU *)
           Array.iteri
             (fun i sw -> if t.up.(i) then Switch.inject_cpu_backlog sw ~now ~work_items:n)
+            t.switches
+        | Lb.Balancer.Reroute r ->
+          (* re-routed flows leave whichever member knew them *)
+          Array.iteri
+            (fun i sw ->
+              if t.up.(i) then
+                ignore
+                  (Switch.forget_flows sw ~now (fun flow _vip ->
+                       Lb.Balancer.reroute_selects r flow)))
             t.switches);
   }

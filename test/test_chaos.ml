@@ -19,7 +19,7 @@ let catalogue_names () =
     (fun name ->
       check Alcotest.bool name true (Option.is_some (Chaos.Scenario.find name)))
     [ "quiet"; "dip-mass-failure"; "dip-flap"; "cpu-stall"; "control-partition"; "syn-flood";
-      "update-storm" ];
+      "update-storm"; "switch-failure"; "vip-migration" ];
   check Alcotest.bool "unknown rejected" true (Option.is_none (Chaos.Scenario.find "nope"));
   (* labels stay stable: reports and dashboards key on them *)
   check Alcotest.string "label" "dip-mass-failure"
@@ -38,6 +38,15 @@ let event_key (e : Chaos.Engine.event) =
     | Chaos.Engine.Dip_recovered d -> "up:" ^ Netcore.Endpoint.to_string d
     | Chaos.Engine.Cpu_backlog n -> Printf.sprintf "cpu:%d" n
     | Chaos.Engine.Syn_packet f -> "syn:" ^ Netcore.Five_tuple.to_string f
+    | Chaos.Engine.Switch_failed r ->
+      Printf.sprintf "switch-fail:%x:%f" r.Lb.Balancer.rr_salt r.Lb.Balancer.rr_fraction
+    | Chaos.Engine.Switch_recovered r ->
+      Printf.sprintf "switch-up:%x:%f" r.Lb.Balancer.rr_salt r.Lb.Balancer.rr_fraction
+    | Chaos.Engine.Vip_migrated r ->
+      Printf.sprintf "vip-migrate:%s"
+        (match r.Lb.Balancer.rr_vip with
+         | Some v -> Netcore.Endpoint.to_string v
+         | None -> "*")
   in
   Printf.sprintf "%.9f|%s|%s" e.Chaos.Engine.time e.Chaos.Engine.fault op
 
@@ -59,7 +68,8 @@ let compile_deterministic () =
         check Alcotest.bool (s ^ " nonempty") true (a.Chaos.Engine.events <> []);
         ignore c
       end)
-    [ "dip-mass-failure"; "control-partition"; "syn-flood"; "update-storm" ]
+    [ "dip-mass-failure"; "control-partition"; "syn-flood"; "update-storm"; "switch-failure";
+      "vip-migration" ]
 
 let events_sorted_and_bounded () =
   List.iter
@@ -76,7 +86,7 @@ let events_sorted_and_bounded () =
           last := e.Chaos.Engine.time)
         c.Chaos.Engine.events)
     [ "dip-mass-failure"; "dip-flap"; "cpu-stall"; "control-partition"; "syn-flood";
-      "update-storm" ]
+      "update-storm"; "switch-failure"; "vip-migration" ]
 
 (* Delivered updates must always be applicable: replaying them through
    Lb.Balancer.apply_update must never raise, whatever was dropped or
@@ -158,6 +168,43 @@ let matrix_scenario scenario_name () =
 let matrix_mass_failure = matrix_scenario "dip-mass-failure"
 let matrix_cpu_stall = matrix_scenario "cpu-stall"
 
+(* The re-route scenarios: a switch failure (or VIP migration) wipes the
+   per-connection state of the affected flows while a pool update is
+   in flight behind a stalled switch CPU. The probe interval is small so
+   re-routed connections re-arrive inside the §4.3 pending window —
+   silkroad's TransitTable pins them to the old version, while slb
+   re-selects against the already-shifted pool and duet remaps them on
+   migrate-back. *)
+let reroute_run scenario_name balancer =
+  let spec =
+    {
+      (Experiments.Chaos_runner.default_spec (scenario_exn scenario_name) ~seed:1) with
+      Experiments.Chaos_runner.rate = 30.;
+      probe_interval = 2.5;
+    }
+  in
+  Experiments.Chaos_runner.run spec ~balancer
+
+let matrix_reroute scenario_name () =
+  let _, silkroad = reroute_run scenario_name "silkroad" in
+  check Alcotest.bool
+    (Printf.sprintf "silkroad survives the re-route under %s (broken %.6f)" scenario_name
+       silkroad.Chaos.Report.broken_fraction)
+    true
+    (silkroad.Chaos.Report.broken_fraction <= pcc_budget);
+  List.iter
+    (fun baseline ->
+      let _, report = reroute_run scenario_name baseline in
+      check Alcotest.bool
+        (Printf.sprintf "%s measurably breaks on re-route under %s (broken %.6f)" baseline
+           scenario_name report.Chaos.Report.broken_fraction)
+        true
+        (report.Chaos.Report.broken_fraction > pcc_budget))
+    [ "duet"; "slb" ]
+
+let matrix_switch_failure = matrix_reroute "switch-failure"
+let matrix_vip_migration = matrix_reroute "vip-migration"
+
 (* Every violation is attributed: the per-fault chaos.violations labels
    sum to the unlabeled total, which equals the harness's own count. *)
 let attribution_complete () =
@@ -230,6 +277,8 @@ let suites =
         tc "report bytes identical" `Quick report_bytes_identical;
         tc "matrix: dip-mass-failure" `Slow matrix_mass_failure;
         tc "matrix: cpu-stall" `Slow matrix_cpu_stall;
+        tc "matrix: switch-failure" `Slow matrix_switch_failure;
+        tc "matrix: vip-migration" `Slow matrix_vip_migration;
         tc "attribution complete" `Slow attribution_complete;
         tc "quiet scenario clean" `Quick quiet_scenario_clean;
         tc "report json shape" `Quick report_json_shape;

@@ -273,8 +273,8 @@ let scalar_vs_batch_chaos (scenario : Chaos.Scenario.t) () =
     (scenario.Chaos.Scenario.name ^ ": telemetry byte-identical")
     (telemetry_json scalar) (telemetry_json batch)
 
-let check_shard_counters name (scalar : Harness.Replay.result) (sharded : Harness.Replay.result)
-    =
+let check_shard_counters ?(exact_pcc = true) name (scalar : Harness.Replay.result)
+    (sharded : Harness.Replay.result) =
   (* precondition for exact equality on the collision-free counter set *)
   check Alcotest.int (name ^ ": scalar run is collision-free") 0
     scalar.Harness.Replay.false_hits;
@@ -284,10 +284,32 @@ let check_shard_counters name (scalar : Harness.Replay.result) (sharded : Harnes
     sharded.Harness.Replay.dropped;
   check Alcotest.int (name ^ ": connections") scalar.Harness.Replay.connections
     sharded.Harness.Replay.connections;
-  check Alcotest.int (name ^ ": broken") scalar.Harness.Replay.broken
-    sharded.Harness.Replay.broken;
-  check Alcotest.int (name ^ ": violations") scalar.Harness.Replay.violations
-    sharded.Harness.Replay.violations
+  if exact_pcc then begin
+    check Alcotest.int (name ^ ": broken") scalar.Harness.Replay.broken
+      sharded.Harness.Replay.broken;
+    check Alcotest.int (name ^ ": violations") scalar.Harness.Replay.violations
+      sharded.Harness.Replay.violations
+  end
+  else begin
+    (* Re-route faults forget flows mid-update: each forgotten flow
+       re-learns its DIP against its own switch's CPU/barrier timeline,
+       and sharding divides every switch's load by the shard count, so
+       the re-learn can land on the opposite side of the §4.3 race
+       window from the scalar run. The per-connection verdicts are
+       mode-dependent by design there. What sharding must still
+       preserve: every re-route tears down the same connection set
+       (each flow's state lives on exactly one shard, and its lifetime
+       depends only on that flow's own packet times), and only
+       re-homed connections may break. *)
+    let rerouted (r : Harness.Replay.result) =
+      Telemetry.Registry.counter_value r.Harness.Replay.telemetry "switch.rerouted_flows"
+    in
+    check Alcotest.int (name ^ ": rerouted flows") (rerouted scalar) (rerouted sharded);
+    check Alcotest.bool (name ^ ": scalar breaks only re-homed conns") true
+      (scalar.Harness.Replay.broken <= rerouted scalar);
+    check Alcotest.bool (name ^ ": sharded breaks only re-homed conns") true
+      (sharded.Harness.Replay.broken <= rerouted sharded)
+  end
 
 let sharded_vs_scalar_scripted () =
   let s = scripted_scenario () in
@@ -304,7 +326,15 @@ let sharded_vs_scalar_chaos (scenario : Chaos.Scenario.t) () =
   let run mode = Harness.Replay.run ~mode ~make_switch:(make_switch ()) ~trace ~controls () in
   let scalar = run Harness.Replay.Scalar in
   let sharded = run (Harness.Replay.Sharded { shards = 4; parallel = false }) in
-  check_shard_counters scenario.Chaos.Scenario.name scalar sharded
+  let exact_pcc =
+    not
+      (List.exists
+         (function
+           | Chaos.Scenario.Switch_failure _ | Chaos.Scenario.Vip_migration _ -> true
+           | _ -> false)
+         scenario.Chaos.Scenario.faults)
+  in
+  check_shard_counters ~exact_pcc scenario.Chaos.Scenario.name scalar sharded
 
 let parallel_matches_sequential () =
   let s = scripted_scenario () in
